@@ -1,0 +1,63 @@
+"""Ablation: network propagation delay vs distributed-inference overhead.
+
+Section VI-B2 concludes that "constant overheads eventually dominate" --
+the network link is the irreducible cost of distribution.  This ablation
+sweeps the fabric's propagation delay and shows the P50 latency overhead
+of the 8-shard load-balanced configuration tracks it almost linearly,
+while the singular configuration is untouched.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, save_artifact
+from repro.core.types import US
+from repro.experiments.configs import ShardingConfiguration, build_plan
+from repro.experiments.runner import run_configuration
+from repro.requests import RequestGenerator
+from repro.serving import ServingConfig
+from repro.simulation.network import FabricSpec
+from repro.sharding import singular_plan
+
+PROPAGATION_US = (5.0, 15.0, 45.0, 135.0)
+
+
+def sweep(suites):
+    model = suites.models["DRM1"]
+    requests = RequestGenerator(model, seed=3).generate_many(60)
+    plan = build_plan(
+        model, ShardingConfiguration("load-bal", 8), suites.pooling("DRM1")
+    )
+    rows = []
+    for prop_us in PROPAGATION_US:
+        spec = FabricSpec(propagation=prop_us * US)
+        serving = ServingConfig(seed=1, fabric_spec=spec)
+        base = run_configuration(model, singular_plan(model), requests, serving)
+        dist = run_configuration(model, plan, requests, serving)
+        overhead = (
+            np.percentile(dist.e2e, 50) - np.percentile(base.e2e, 50)
+        ) / np.percentile(base.e2e, 50)
+        rows.append((prop_us, float(np.percentile(base.e2e, 50)) * 1e3, overhead))
+    return rows
+
+
+def test_ablation_network_propagation(benchmark, suites):
+    rows = benchmark.pedantic(lambda: sweep(suites), rounds=1, iterations=1)
+    text = format_table(
+        ["propagation (us)", "singular P50 (ms)", "load-bal-8 P50 overhead"],
+        [(p, round(b, 3), round(o, 4)) for p, b, o in rows],
+        title="Ablation: fabric propagation vs distributed overhead",
+    )
+    print("\n" + text)
+    save_artifact("ablation_network_propagation.txt", text)
+
+    overheads = [o for _, _, o in rows]
+    baselines = [b for _, b, _ in rows]
+    # Overhead grows monotonically with propagation delay...
+    assert all(a < b for a, b in zip(overheads, overheads[1:]))
+    # ...while the singular baseline does not move (it never touches the
+    # fabric).
+    assert max(baselines) - min(baselines) < 1e-9
+    # Each extra hop of propagation is paid at least twice per batch
+    # (two sequential nets, round trip each).
+    spread = overheads[-1] - overheads[0]
+    assert spread > 0.2

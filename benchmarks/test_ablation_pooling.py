@@ -1,0 +1,71 @@
+"""Ablation: pooling factor vs the distributed-latency crossover.
+
+Section VI-B2: "if the sparse operators produced enough work on average,
+then the model would be amenable to distributed inference.  And given
+sufficient sparse operator work, latency could be improved."  This
+ablation scales the user-net pooling factors of DRM1 and locates the
+crossover: with enough lookups per request, the 8-shard single-batch
+configuration beats singular -- the full Figure-13 effect.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis import format_table, save_artifact
+from repro.experiments.configs import ShardingConfiguration, build_plan
+from repro.experiments.runner import run_configuration
+from repro.models.config import FeatureScope
+from repro.requests import RequestGenerator
+from repro.serving import ServingConfig
+from repro.sharding import estimate_pooling_factors, singular_plan
+
+POOLING_SCALES = (1, 8, 32, 64)
+
+
+def scale_user_pooling(model, factor):
+    tables = tuple(
+        dataclasses.replace(t, mean_ids=t.mean_ids * factor)
+        if t.scope is FeatureScope.USER
+        else t
+        for t in model.tables
+    )
+    return dataclasses.replace(model, name=f"{model.name}-pfx{factor}", tables=tables)
+
+
+def sweep(base_model):
+    serving = ServingConfig(seed=1).with_batch_size(10**9)  # single batch
+    rows = []
+    for factor in POOLING_SCALES:
+        model = scale_user_pooling(base_model, factor)
+        requests = RequestGenerator(model, seed=3).generate_many(60)
+        pooling = estimate_pooling_factors(model, 200, seed=42)
+        plan = build_plan(model, ShardingConfiguration("load-bal", 8), pooling)
+        base = run_configuration(model, singular_plan(model), requests, serving)
+        dist = run_configuration(model, plan, requests, serving)
+        overhead = (
+            np.percentile(dist.e2e, 50) - np.percentile(base.e2e, 50)
+        ) / np.percentile(base.e2e, 50)
+        rows.append((factor, float(overhead)))
+    return rows
+
+
+def test_ablation_pooling_crossover(benchmark, suites):
+    rows = benchmark.pedantic(lambda: sweep(suites.models["DRM1"]), rounds=1, iterations=1)
+    text = format_table(
+        ["user pooling x", "load-bal-8 single-batch P50 overhead"],
+        [(f, round(o, 4)) for f, o in rows],
+        title="Ablation: pooling factor vs distributed latency crossover",
+    )
+    print("\n" + text)
+    save_artifact("ablation_pooling_crossover.txt", text)
+
+    overheads = dict(rows)
+    # Overhead decreases monotonically as sparse work grows.
+    values = [overheads[f] for f in POOLING_SCALES]
+    assert all(a > b for a, b in zip(values, values[1:]))
+    # At DRM1's own (Table II) pooling scale, distribution still costs
+    # latency; with enough sparse work it *improves* latency -- the
+    # crossover the paper demonstrates with large batches.
+    assert overheads[1] > 0
+    assert overheads[64] < 0

@@ -1,0 +1,67 @@
+"""Ablation: shard counts beyond the paper's 8.
+
+The paper's trade-off -- more shards manage latency but multiply compute
+-- implies diminishing latency returns once the constant network floor
+dominates (Section VI-B2), while compute overhead keeps growing with the
+RPC fan-out.  This ablation extends the load-balanced sweep to 24 shards.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, save_artifact
+from repro.experiments.configs import ShardingConfiguration, build_plan
+from repro.experiments.runner import run_configuration
+from repro.requests import RequestGenerator
+from repro.serving import ServingConfig
+from repro.sharding import singular_plan
+
+SHARD_COUNTS = (2, 4, 8, 16, 24)
+
+
+def sweep(suites):
+    model = suites.models["DRM1"]
+    requests = RequestGenerator(model, seed=3).generate_many(60)
+    serving = ServingConfig(seed=1)
+    base = run_configuration(model, singular_plan(model), requests, serving)
+    base_e2e = np.percentile(base.e2e, 50)
+    base_cpu = np.percentile(base.cpu, 50)
+    rows = []
+    for count in SHARD_COUNTS:
+        plan = build_plan(
+            model, ShardingConfiguration("load-bal", count), suites.pooling("DRM1")
+        )
+        dist = run_configuration(model, plan, requests, serving)
+        rows.append(
+            (
+                count,
+                float((np.percentile(dist.e2e, 50) - base_e2e) / base_e2e),
+                float((np.percentile(dist.cpu, 50) - base_cpu) / base_cpu),
+            )
+        )
+    return rows
+
+
+def test_ablation_shard_scaling(benchmark, suites):
+    rows = benchmark.pedantic(lambda: sweep(suites), rounds=1, iterations=1)
+    text = format_table(
+        ["shards", "P50 latency overhead", "P50 compute overhead"],
+        [(c, round(l, 4), round(k, 4)) for c, l, k in rows],
+        title="Ablation: load-balanced shard-count scaling (DRM1)",
+    )
+    print("\n" + text)
+    save_artifact("ablation_shard_scaling.txt", text)
+
+    latency = {c: l for c, l, _ in rows}
+    compute = {c: k for c, _, k in rows}
+
+    # Latency improvements flatten: the 8->24 gain is much smaller than
+    # the 2->8 gain (network floor).
+    gain_2_to_8 = latency[2] - latency[8]
+    gain_8_to_24 = latency[8] - latency[24]
+    assert gain_2_to_8 > 0
+    assert gain_8_to_24 < 0.6 * gain_2_to_8
+
+    # Compute overhead keeps growing, roughly linearly in the fan-out.
+    values = [compute[c] for c in SHARD_COUNTS]
+    assert all(a < b for a, b in zip(values, values[1:]))
+    assert compute[24] > 2.0 * compute[8] * 0.8  # no saturation in sight

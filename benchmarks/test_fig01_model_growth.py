@@ -1,0 +1,17 @@
+"""Figure 1: recommendation-model growth (features & capacity, ~10x/3y)."""
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+
+
+def test_fig01_model_growth(benchmark):
+    artifact = benchmark(figures.fig1_model_growth)
+    print("\n" + artifact.text)
+    save_artifact("fig01_model_growth.txt", artifact.text)
+
+    # Paper: "Both number of features and embeddings have grown an order
+    # of magnitude in only three years."
+    assert artifact.data["features_x"] >= 9.0
+    assert artifact.data["capacity_x"] >= 9.0
+    points = artifact.data["points"]
+    assert points[-1].years_since_start == 3.0

@@ -1,0 +1,33 @@
+"""Figure 5: embedding-table size distributions.
+
+Paper targets: DRM1 = 200 GB-class / 257 tables / largest 3.6 GB;
+DRM2 = 138 GB / 133 tables / largest 6.7 GB; DRM3 = 200 GB / 39 tables
+dominated by one 178.8 GB table.  DRM1/DRM2 show a long tail; DRM3 is
+dominated by a single table.
+"""
+
+import pytest
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+
+
+def test_fig05_table_sizes(benchmark, models):
+    artifact = benchmark(lambda: figures.fig5_table_size_distribution(models))
+    print("\n" + artifact.text)
+    save_artifact("fig05_table_sizes.txt", artifact.text)
+
+    data = artifact.data
+    assert data["DRM1"]["count"] == 257
+    assert data["DRM2"]["count"] == 133
+    assert data["DRM3"]["count"] == 39
+    assert data["DRM1"]["total_gib"] == pytest.approx(194.05, rel=0.02)
+    assert data["DRM2"]["total_gib"] == pytest.approx(138.0, rel=0.02)
+    assert data["DRM3"]["total_gib"] == pytest.approx(200.0, rel=0.02)
+    assert data["DRM1"]["largest_gib"] <= 3.7
+    assert data["DRM2"]["largest_gib"] <= 6.8
+    assert data["DRM3"]["largest_gib"] == pytest.approx(178.8, rel=0.03)
+    # Long tail vs dominant table.
+    assert data["DRM1"]["dominant_share"] < 0.05
+    assert data["DRM2"]["dominant_share"] < 0.08
+    assert data["DRM3"]["dominant_share"] > 0.85

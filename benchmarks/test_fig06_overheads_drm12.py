@@ -1,0 +1,73 @@
+"""Figure 6: DRM1/DRM2 latency & compute overheads vs singular (serial).
+
+Paper targets (Section VI):
+* every distributed configuration is slower than singular at P50 (serial
+  blocking requests always lose);
+* increasing shards reduces the latency overhead (load-bal/cap-bal);
+* the 2-shard NSBP configuration is (near-)worst at P99 -- it acts like a
+  bounding 1-shard configuration for the hot net;
+* compute overhead grows with shard count; NSBP incurs the least compute;
+* P99 latency overheads are more favorable than P50 for the balanced
+  strategies.
+"""
+
+import numpy as np
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+from repro.sharding import SINGULAR
+
+
+def check_model(results, model_name):
+    artifact = figures.fig6_overheads(results, model_name)
+    data = artifact.data
+
+    # All configurations slower than singular at P50.
+    for label, per_quantile in data.items():
+        assert per_quantile[50]["latency"] > 0, (model_name, label)
+
+    # More shards -> lower latency overhead, higher compute overhead.
+    for strategy in ("load-bal", "cap-bal"):
+        lat = {n: data[f"{strategy} {n} shards"][50]["latency"] for n in (2, 4, 8)}
+        cpu = {n: data[f"{strategy} {n} shards"][50]["compute"] for n in (2, 4, 8)}
+        assert lat[8] < lat[2], (model_name, strategy)
+        assert cpu[2] < cpu[4] < cpu[8], (model_name, strategy)
+
+    # NSBP: least compute overhead at matching shard counts.
+    for n in (4, 8):
+        assert (
+            data[f"NSBP {n} shards"][50]["compute"]
+            < data[f"load-bal {n} shards"][50]["compute"]
+        )
+
+    # NSBP-2 is worst or near-worst at P99 (within 10% of the maximum).
+    p99 = {label: q[99]["latency"] for label, q in data.items()}
+    assert p99["NSBP 2 shards"] >= 0.9 * max(p99.values())
+
+    # P99 overhead <= P50 overhead for the balanced 8-shard configs.
+    for label in ("load-bal 8 shards", "cap-bal 8 shards"):
+        assert data[label][99]["latency"] <= data[label][50]["latency"] + 0.02
+
+    return artifact
+
+
+def test_fig06_overheads_drm1(benchmark, suites):
+    results = suites.serial("DRM1")
+    artifact = benchmark(lambda: figures.fig6_overheads(results, "DRM1"))
+    check_model(results, "DRM1")
+    print("\n" + artifact.text)
+    print(
+        "paper DRM1: load-bal-2 P99 +7.3%, load-bal-8 P99 +1%, P50 +11% -> measured "
+        f"{artifact.data['load-bal 2 shards'][99]['latency']:+.3f}, "
+        f"{artifact.data['load-bal 8 shards'][99]['latency']:+.3f}, "
+        f"{artifact.data['load-bal 8 shards'][50]['latency']:+.3f}"
+    )
+    save_artifact("fig06_overheads_drm1.txt", artifact.text)
+
+
+def test_fig06_overheads_drm2(benchmark, suites):
+    results = suites.serial("DRM2")
+    artifact = benchmark(lambda: figures.fig6_overheads(results, "DRM2"))
+    check_model(results, "DRM2")
+    print("\n" + artifact.text)
+    save_artifact("fig06_overheads_drm2.txt", artifact.text)

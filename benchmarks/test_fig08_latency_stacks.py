@@ -1,0 +1,60 @@
+"""Figures 8a/8b: P50 latency attribution by sharding strategy (DRM1).
+
+Paper targets:
+* singular: embedded portion ~10% of E2E; at 1-shard it grows to ~32%;
+  the best 8-shard config brings it back to ~16% (Section VI-B4);
+* on sparse shards, network latency exceeds operator latency for every
+  distributed configuration (Section VI-B2);
+* increasing shards shrinks the embedded bar, but the constant network
+  component remains (constant overheads eventually dominate).
+"""
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+from repro.sharding import SINGULAR
+from repro.tracing import EMBEDDED_PORTION, NETWORK_LATENCY, SPARSE_OPS
+
+
+def embedded_fraction(stacks, label):
+    stack = stacks[label]
+    return stack[EMBEDDED_PORTION] / sum(stack.values())
+
+
+def test_fig08a_e2e_latency_stacks(benchmark, suites):
+    results = suites.serial("DRM1")
+    artifact = benchmark(lambda: figures.fig8a_e2e_latency_stacks(results))
+    print("\n" + artifact.text)
+    save_artifact("fig08a_latency_stacks.txt", artifact.text)
+
+    stacks = artifact.data["stacks"]
+    singular = embedded_fraction(stacks, SINGULAR)
+    one_shard = embedded_fraction(stacks, "1 shard")
+    load8 = embedded_fraction(stacks, "load-bal 8 shards")
+    print(
+        f"paper embedded fraction: singular ~10%, 1-shard 32%, load-bal-8 15.6% -> "
+        f"measured {singular:.1%}, {one_shard:.1%}, {load8:.1%}"
+    )
+    assert 0.05 < singular < 0.18
+    assert 0.22 < one_shard < 0.42
+    assert singular < load8 < one_shard
+
+
+def test_fig08b_embedded_stacks(benchmark, suites):
+    results = suites.serial("DRM1")
+    artifact = benchmark(lambda: figures.fig8b_embedded_stacks(results))
+    print("\n" + artifact.text)
+    save_artifact("fig08b_embedded_stacks.txt", artifact.text)
+
+    stacks = artifact.data["stacks"]
+    # Singular bar is pure sparse ops.
+    assert stacks[SINGULAR][NETWORK_LATENCY] == 0.0
+    assert stacks[SINGULAR][SPARSE_OPS] > 0.0
+    # Network latency exceeds operator latency on the bounding shard for
+    # every distributed configuration.
+    for label, stack in stacks.items():
+        if label == SINGULAR:
+            continue
+        assert stack[NETWORK_LATENCY] > stack[SPARSE_OPS], label
+    # More shards -> smaller embedded bar (1 shard tallest among load-bal).
+    total = lambda label: sum(stacks[label].values())
+    assert total("load-bal 8 shards") < total("load-bal 2 shards") < total("1 shard")

@@ -1,0 +1,46 @@
+"""Figure 10: DRM1 per-shard operator latencies by net (8 sparse shards).
+
+Paper targets: with load-balanced sharding, per-shard latencies are
+roughly even and every shard serves both nets; with NSBP, the net1 shards
+(high pooling, small tables) dominate operator latency while the net2
+shards do almost nothing -- "only co-locating tables within the same net
+has a large effect".
+"""
+
+import numpy as np
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+
+
+def test_fig10_per_shard_by_net(benchmark, suites):
+    results = suites.serial("DRM1")
+    artifact = benchmark(lambda: figures.fig10_per_shard_by_net(results))
+    print("\n" + artifact.text)
+    save_artifact("fig10_per_shard_by_net.txt", artifact.text)
+
+    per_shard = artifact.data["per_shard"]
+
+    # Load-balanced: every shard serves both nets.
+    load = per_shard["load-bal 8 shards"]
+    load_nets_per_shard = {}
+    for (shard, net) in load:
+        load_nets_per_shard.setdefault(shard, set()).add(net)
+    assert all(nets == {"net1", "net2"} for nets in load_nets_per_shard.values())
+
+    # Load-balanced total per-shard op time is fairly even.
+    load_totals = {}
+    for (shard, _), value in load.items():
+        load_totals[shard] = load_totals.get(shard, 0.0) + value
+    values = list(load_totals.values())
+    assert max(values) / min(values) < 1.6
+
+    # NSBP: shards serve exactly one net; net1 shards dominate.
+    nsbp = per_shard["NSBP 8 shards"]
+    nsbp_nets_per_shard = {}
+    for (shard, net) in nsbp:
+        nsbp_nets_per_shard.setdefault(shard, set()).add(net)
+    assert all(len(nets) == 1 for nets in nsbp_nets_per_shard.values())
+    net1_peak = max(v for (s, n), v in nsbp.items() if n == "net1")
+    net2_peak = max(v for (s, n), v in nsbp.items() if n == "net2")
+    assert net1_peak > 5 * net2_peak

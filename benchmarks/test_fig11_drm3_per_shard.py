@@ -1,0 +1,35 @@
+"""Figure 11: DRM3 per-shard operator latencies and embedded breakdown.
+
+Paper targets: under NSBP, shard 1 holds every table except the largest
+and performs the majority of the (tiny) sparse compute; the dominant
+table's partitions see one single-row lookup each; increasing shards has
+no practical effect on the embedded-portion latency.
+"""
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+from repro.sharding import SINGULAR
+
+
+def test_fig11_drm3_per_shard(benchmark, suites):
+    results = suites.serial("DRM3")
+    artifact = benchmark(lambda: figures.fig11_drm3_per_shard(results))
+    print("\n" + artifact.text)
+    save_artifact("fig11_drm3_per_shard.txt", artifact.text)
+
+    per_shard = artifact.data["per_shard"]["NSBP 8 shards"]
+    values = sorted(per_shard.values(), reverse=True)
+    # One shard (the small-tables bin) does the bulk of operator work.
+    assert values[0] > 3 * values[1]
+    # All 8 shards do *some* work across the request sample (each
+    # partition of the dominant table is hit by someone).
+    assert len(per_shard) == 8
+
+    # Embedded-portion totals barely move between NSBP-4 and NSBP-8.
+    stacks = artifact.data["stacks"]
+    nsbp4 = sum(stacks["NSBP 4 shards"].values())
+    nsbp8 = sum(stacks["NSBP 8 shards"].values())
+    assert abs(nsbp8 - nsbp4) / nsbp4 < 0.12
+    # And both sit well above the singular sparse-op time (network floor).
+    singular = sum(stacks[SINGULAR].values())
+    assert nsbp8 > 2 * singular

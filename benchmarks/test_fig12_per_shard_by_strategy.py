@@ -1,0 +1,41 @@
+"""Figure 12: DRM1 per-shard operator latencies by strategy (8 shards).
+
+Paper targets: load-balanced does not substantially change per-shard
+operator latencies compared to capacity-balanced (both are tiny next to
+E2E); NSBP is the visibly skewed one.
+"""
+
+import numpy as np
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+from repro.sharding import SINGULAR
+
+
+def spread(per_shard):
+    values = list(per_shard.values())
+    return max(values) / max(min(values), 1e-12)
+
+
+def test_fig12_per_shard_by_strategy(benchmark, suites):
+    results = suites.serial("DRM1")
+    artifact = benchmark(lambda: figures.fig12_per_shard_by_strategy(results))
+    print("\n" + artifact.text)
+    save_artifact("fig12_per_shard_by_strategy.txt", artifact.text)
+
+    per_shard = artifact.data["per_shard"]
+    load_spread = spread(per_shard["load-bal 8 shards"])
+    cap_spread = spread(per_shard["cap-bal 8 shards"])
+    nsbp_spread = spread(per_shard["NSBP 8 shards"])
+    print(
+        f"per-shard op latency spread: load-bal {load_spread:.2f}x, "
+        f"cap-bal {cap_spread:.2f}x, NSBP {nsbp_spread:.2f}x"
+    )
+    # Load-balanced evens out operator load; NSBP is far more skewed.
+    assert load_spread < cap_spread * 1.2  # load-bal no worse than cap-bal
+    assert nsbp_spread > 3 * load_spread
+
+    # Per-shard operator latencies are insignificant versus E2E
+    # (Section VI-D2): even the largest is a small fraction of median E2E.
+    e2e_p50 = np.percentile(results["load-bal 8 shards"].e2e, 50)
+    assert artifact.data["peak"] < 0.25 * e2e_p50

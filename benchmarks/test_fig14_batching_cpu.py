@@ -1,0 +1,42 @@
+"""Figure 14: CPU-time stacks for default- vs single-batch replay.
+
+Paper targets: each additional batch issues its own RPC ops, so compute
+overhead is multiplicative in batch count -- single-batch replay shrinks
+the distributed compute overhead dramatically, and NSBP's overhead grows
+slower than load-balanced as shards are added.
+"""
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+
+
+def test_fig14_batching_cpu(benchmark, suites):
+    default_results = {"DRM1": suites.serial("DRM1"), "DRM2": suites.serial("DRM2")}
+    single_results = {
+        "DRM1": suites.single_batch("DRM1"),
+        "DRM2": suites.single_batch("DRM2"),
+    }
+    artifact = benchmark(
+        lambda: figures.fig14_batching_cpu(default_results, single_results)
+    )
+    print("\n" + artifact.text)
+    save_artifact("fig14_batching_cpu.txt", artifact.text)
+
+    overheads = artifact.data["p50_overheads"]
+    # Single batch -> far lower compute overhead for every DRM1 config.
+    for label, default_value in overheads["DRM1/default"].items():
+        single_value = overheads["DRM1/single-batch"][label]
+        assert single_value < default_value, label
+
+    # NSBP compute overhead grows slower with shards than load-balanced
+    # under default batching (one RPC per shard vs one per net per shard).
+    default_drm1 = overheads["DRM1/default"]
+    load_growth = default_drm1["load-bal 8 shards"] - default_drm1["load-bal 2 shards"]
+    nsbp_growth = default_drm1["NSBP 8 shards"] - default_drm1["NSBP 2 shards"]
+    assert nsbp_growth < load_growth
+
+    # With one batch per request the marginal increase from sharding is
+    # less severe (Section VI-F2).
+    single_drm1 = overheads["DRM1/single-batch"]
+    single_growth = single_drm1["load-bal 8 shards"] - single_drm1["load-bal 2 shards"]
+    assert single_growth < load_growth

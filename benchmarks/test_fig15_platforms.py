@@ -1,0 +1,31 @@
+"""Figure 15: DRM1 per-shard operator latencies by server platform.
+
+Paper targets: SC-Small (fewer, slower cores, 4x less DRAM, less network
+bandwidth) serves sparse shards with per-shard operator latencies nearly
+identical to SC-Large -- embedding lookups are DRAM-latency bound, so
+sparse shards can run on cheaper platforms ("coarse-grained platform
+specialization ... for increased serving- and energy-efficiency").
+"""
+
+import pytest
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+
+
+def test_fig15_platforms(benchmark, suites):
+    result_large, result_small = suites.platform_pair()
+    artifact = benchmark(lambda: figures.fig15_platforms(result_large, result_small))
+    print("\n" + artifact.text)
+    save_artifact("fig15_platforms.txt", artifact.text)
+
+    ratio = artifact.data["mean_ratio_small_over_large"]
+    # "No significant latency overheads are incurred despite platform
+    # differences": within ~10%.
+    assert ratio == pytest.approx(1.0, abs=0.1)
+
+    # Every shard individually stays close, not just the mean.
+    large = result_large.mean_per_shard_op_time()
+    small = result_small.mean_per_shard_op_time()
+    for shard in large:
+        assert small[shard] / large[shard] == pytest.approx(1.0, abs=0.15), shard

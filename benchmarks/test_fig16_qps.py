@@ -1,0 +1,35 @@
+"""Figure 16: DRM1 overheads at 25 QPS open-loop replay.
+
+Paper targets: on right-sized serving instances at production request
+rates, "P99 latencies improve over singular for every sharding strategy,
+including 1-shard" -- asynchronous RPC waits release worker threads, so
+distributed configurations interleave batches where singular head-of-line
+blocks.  All overheads are lower than their serial counterparts.
+"""
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+
+
+def test_fig16_qps(benchmark, suites):
+    results = suites.qps("DRM1")
+    artifact = benchmark(lambda: figures.fig16_qps_overheads(results))
+    print("\n" + artifact.text)
+    save_artifact("fig16_qps_overheads.txt", artifact.text)
+
+    data = artifact.data
+    # P99 improves over singular for EVERY strategy, including 1-shard.
+    for label, per_quantile in data.items():
+        assert per_quantile[99]["latency"] < 0, label
+
+    # The 8-shard balanced configurations improve P50 as well.
+    for label in ("load-bal 8 shards", "cap-bal 8 shards"):
+        assert data[label][50]["latency"] < 0.05, label
+
+    # Every overhead at 25 QPS is lower than the same config sent serially.
+    serial = figures.fig6_overheads(suites.serial("DRM1"), "DRM1").data
+    for label, per_quantile in data.items():
+        for q in (50, 90, 99):
+            assert (
+                per_quantile[q]["latency"] <= serial[label][q]["latency"] + 0.02
+            ), (label, q)

@@ -1,0 +1,59 @@
+"""Table II: sharding results for DRM1 (capacity / tables / pooling).
+
+Paper targets (Table II highlights):
+* NSBP 2-shard: the net2 shard holds 4.75x the capacity of the net1 shard
+  yet is estimated to perform only 6.3% of its pooling work;
+* capacity-balanced: equal capacity per shard, pooling imbalance up to
+  ~3.7x at 8 shards;
+* load-balanced: equal pooling per shard, capacity varies up to ~50%.
+"""
+
+import pytest
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+from repro.experiments.configs import build_plan, paper_configurations
+from repro.sharding import SINGULAR
+
+
+def test_table2_sharding_results(benchmark, suites, models):
+    model = models["DRM1"]
+    pooling = suites.pooling("DRM1")
+    plans = {
+        config.label: build_plan(model, config, pooling)
+        for config in paper_configurations("DRM1")
+        if config.strategy != SINGULAR
+    }
+    artifact = benchmark(lambda: figures.table2_sharding_results(model, plans, pooling))
+    print("\n" + artifact.text)
+    save_artifact("table2_sharding_results.txt", artifact.text)
+
+    data = artifact.data
+    # 1-shard: everything on one shard, full capacity, all 257 tables.
+    one = data["1 shard"]
+    assert one["tables"] == [257]
+    assert one["capacity_gib"][0] == pytest.approx(194.05, rel=0.02)
+
+    # Capacity-balanced: equal bytes; pooling skewed (paper: up to 371%).
+    cap8 = data["cap-bal 8 shards"]
+    assert max(cap8["capacity_gib"]) / min(cap8["capacity_gib"]) < 1.15
+    assert max(cap8["pooling"]) / min(cap8["pooling"]) > 1.5
+
+    # Load-balanced: equal pooling; capacity varies (paper: up to ~50%).
+    load8 = data["load-bal 8 shards"]
+    assert max(load8["pooling"]) / min(load8["pooling"]) < 1.1
+    assert max(load8["capacity_gib"]) / min(load8["capacity_gib"]) > 1.1
+
+    # NSBP 2-shard capacity and pooling skews.
+    nsbp2 = data["NSBP 2 shards"]
+    cap_ratio = max(nsbp2["capacity_gib"]) / min(nsbp2["capacity_gib"])
+    pool_ratio = min(nsbp2["pooling"]) / max(nsbp2["pooling"])
+    print(f"paper NSBP-2: capacity ratio 4.75x, pooling 6.3% -> "
+          f"measured {cap_ratio:.2f}x, {100 * pool_ratio:.1f}%")
+    assert cap_ratio == pytest.approx(4.75, rel=0.06)
+    assert pool_ratio == pytest.approx(0.063, rel=0.35)
+
+    # Estimated pooling totals land at Table II's magnitude (~139k over
+    # 1000 sampled requests).
+    total_pooling = sum(data["1 shard"]["pooling"])
+    assert total_pooling == pytest.approx(138943, rel=0.1)

@@ -1,0 +1,40 @@
+"""Table III: effect of quantization and pruning on DRM1.
+
+Paper targets: the compressed model is 5.56x smaller (194.46 GB -> 35 GB)
+while CPU time and E2E latency stay within a few percent of uncompressed
+at every quantile; tail quantiles remain several times P50 (long-tailed
+request sizes); and compression alone still cannot bring data-center
+scale models onto a handful of ~50 GB commodity servers.
+"""
+
+import pytest
+
+from repro.analysis import save_artifact
+from repro.experiments import figures
+
+
+def test_table3_compression(benchmark, suites):
+    base, comp, report = suites.compression_pair()
+    artifact = benchmark(lambda: figures.table3_compression(base, comp, report))
+    print("\n" + artifact.text)
+    print(f"paper ratio 5.56x -> measured {report.ratio:.2f}x")
+    save_artifact("table3_compression.txt", artifact.text)
+
+    # Size: ~5.56x smaller.
+    assert artifact.data["ratio"] == pytest.approx(5.56, rel=0.08)
+
+    # Latency and CPU effects are marginal at every quantile.
+    for metric in ("CPU Time", "E2E Latency"):
+        for q in (50, 90, 99):
+            uncompressed, compressed = artifact.data[f"{metric}-P{q}"]
+            assert compressed == pytest.approx(uncompressed, rel=0.05), (metric, q)
+
+    # Long-tailed quantiles survive compression (paper: CPU P99 ~6.6x P50).
+    cpu_p99, _ = artifact.data["CPU Time-P99"]
+    assert cpu_p99 > 3.0
+
+    # Compression alone is insufficient at data-center scale: the original
+    # models are "many times larger" than the 194 GB snapshot, so even
+    # 5.56x leaves them beyond a few ~50 GB commodity servers.
+    full_scale = report.compressed_bytes * 10
+    assert full_scale > 4 * 50e9

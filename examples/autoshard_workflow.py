@@ -1,0 +1,66 @@
+"""Automatic sharding workflow (the paper's Section-X future work).
+
+Given a sparse-tier DRAM budget and a P99 latency SLA, profile every
+feasible (strategy, shard count) candidate on a request sample and pick
+the plan that meets the SLA with the fewest data-center resources.
+
+Run:  python examples/autoshard_workflow.py
+"""
+
+from repro.analysis import format_table
+from repro.core.types import GIB
+from repro.models import drm1
+from repro.serving import ServingConfig
+from repro.sharding import AutoShardObjective, auto_shard
+
+
+def main() -> None:
+    model = drm1()
+    objective = AutoShardObjective(
+        shard_dram_budget=55 * GIB,
+        max_p99_latency_overhead=0.30,
+        shard_counts=(2, 4, 8, 16),
+        profile_requests=80,
+    )
+    print(
+        f"auto-sharding {model.name}: sparse-tier budget "
+        f"{objective.shard_dram_budget / GIB:.0f} GiB/shard, "
+        f"SLA: P99 overhead <= {objective.max_p99_latency_overhead:.0%}"
+    )
+
+    outcome = auto_shard(model, objective, ServingConfig(seed=1))
+
+    rows = []
+    for evaluation in outcome.evaluations:
+        if evaluation.feasible_capacity:
+            p99 = f"{evaluation.p99_latency_overhead:+.1%}"
+            cpu = f"{evaluation.cpu_overhead:+.1%}"
+        else:
+            p99 = cpu = "(skipped)"
+        rows.append(
+            (
+                evaluation.label,
+                "yes" if evaluation.feasible_capacity else "no",
+                p99,
+                cpu,
+                "yes" if evaluation.meets_sla else "no",
+            )
+        )
+    print(
+        format_table(
+            ["candidate", "fits DRAM", "P99 overhead", "CPU overhead", "meets SLA"],
+            rows,
+            title="Candidate evaluation",
+        )
+    )
+    if outcome.chosen is None:
+        print("\nno candidate satisfies the budget and SLA; relax one of them.")
+        return
+    print(
+        f"\nchosen: {outcome.chosen.label} -- the fewest shards that fit the"
+        f" DRAM budget and meet the SLA, minimizing compute overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

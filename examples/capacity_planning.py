@@ -1,0 +1,103 @@
+"""Data-center capacity planning: replication efficiency of sharding.
+
+Implements the paper's Section VII-C argument with numbers: at data-center
+QPS, a singular deployment replicates the *entire* 194 GiB model with
+every compute-driven replica, while a distributed deployment replicates
+dense-only main shards and lets each sparse shard scale independently.
+The script sizes both deployments across a QPS sweep and reports servers
+and pinned DRAM, plus the SLA fallout of each configuration.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.types import GIB
+from repro.experiments import run_configuration
+from repro.experiments.configs import ShardingConfiguration, build_plan
+from repro.models import drm1
+from repro.requests import RequestGenerator
+from repro.serving import (
+    ReplicationDemand,
+    ServingConfig,
+    SlaPolicy,
+    evaluate_sla,
+    memory_efficiency_vs_singular,
+    plan_replication,
+)
+from repro.sharding import estimate_pooling_factors, singular_plan
+
+
+def main() -> None:
+    model = drm1()
+    requests = RequestGenerator(model, seed=3).generate_many(120)
+    pooling = estimate_pooling_factors(model, num_requests=500, seed=42)
+    serving = ServingConfig(seed=1)
+
+    base = run_configuration(model, singular_plan(model), requests, serving)
+    configs = {
+        "load-bal 8 shards": build_plan(
+            model, ShardingConfiguration("load-bal", 8), pooling
+        ),
+        "NSBP 8 shards": build_plan(model, ShardingConfiguration("NSBP", 8), pooling),
+    }
+    results = {
+        label: run_configuration(model, plan, requests, serving)
+        for label, plan in configs.items()
+    }
+
+    rows = []
+    for qps in (5_000, 20_000, 80_000):
+        demand = ReplicationDemand(qps=qps)
+        singular_deploy = plan_replication(model, base, demand)
+        rows.append(
+            (
+                f"{qps:,}",
+                "singular",
+                singular_deploy.total_servers,
+                singular_deploy.total_memory_bytes / GIB,
+                "1.00x",
+            )
+        )
+        for label, result in results.items():
+            deploy = plan_replication(model, result, demand)
+            rows.append(
+                (
+                    "",
+                    label,
+                    deploy.total_servers,
+                    deploy.total_memory_bytes / GIB,
+                    f"{memory_efficiency_vs_singular(singular_deploy, deploy):.2f}x",
+                )
+            )
+    print(
+        format_table(
+            ["QPS", "deployment", "servers", "pinned DRAM GiB", "memory efficiency"],
+            [(q, d, s, round(m, 1), e) for q, d, s, m, e in rows],
+            title="Replication sizing (Section VII-C)",
+        )
+    )
+
+    # --- SLA fallout ---------------------------------------------------------
+    policy = SlaPolicy.from_baseline_quantile(base.e2e, quantile=99, slack=1.1)
+    print(f"\nSLA window: {policy.target_latency * 1e3:.2f} ms "
+          f"(singular P99 x 1.1)")
+    reports = [evaluate_sla("singular", base.e2e, policy)] + [
+        evaluate_sla(label, result.e2e, policy) for label, result in results.items()
+    ]
+    print(
+        format_table(
+            ["configuration", "fallback rate", "P50 headroom"],
+            [(r.label, f"{r.drop_rate:.1%}", f"{r.headroom_p50:.2f}x") for r in reports],
+            title="SLA fallback under the singular-derived window",
+        )
+    )
+    print(
+        "\ntakeaway: distributed serving pins a fraction of the DRAM at scale;"
+        " the latency overhead shows up as a small fallback-rate increase."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Compare the paper's sharding strategies on DRM1.
+
+Reproduces the heart of the paper interactively: builds every sharding
+configuration of Table I, prints the per-shard placement summary
+(Table II style), then simulates serial serving and prints each
+configuration's latency/compute overhead (Figure 6 style) so the
+latency-vs-compute trade-off is visible in one screen.
+
+Run:  python examples/sharding_strategies.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.types import GIB
+from repro.experiments import run_suite, SuiteSettings
+from repro.experiments.configs import build_plan, paper_configurations
+from repro.models import drm1
+from repro.serving import ServingConfig
+from repro.sharding import SINGULAR, estimate_pooling_factors, pooling_by_shard
+
+
+def main() -> None:
+    model = drm1()
+    pooling = estimate_pooling_factors(model, num_requests=500, seed=42)
+
+    # --- placement summary (Table II style) -----------------------------------
+    rows = []
+    for configuration in paper_configurations(model.name):
+        if configuration.strategy == SINGULAR:
+            continue
+        plan = build_plan(model, configuration, pooling)
+        capacities = [c / GIB for c in plan.capacity_by_shard(model)]
+        loads = pooling_by_shard(plan.shards, pooling)
+        rows.append(
+            (
+                plan.label,
+                plan.num_shards,
+                f"{min(capacities):.1f}..{max(capacities):.1f}",
+                f"{max(capacities) / min(capacities):.2f}x",
+                f"{max(loads) / max(min(loads), 1e-9):.2f}x",
+            )
+        )
+    print(
+        format_table(
+            ["configuration", "shards", "capacity GiB", "capacity skew", "pooling skew"],
+            rows,
+            title="Placement summary (DRM1)",
+        )
+    )
+
+    # --- serving overheads (Figure 6 style) -----------------------------------
+    settings = SuiteSettings(num_requests=120, serving=ServingConfig(seed=1))
+    results = run_suite(model, settings)
+    base = results[SINGULAR]
+    rows = []
+    for label, result in results.items():
+        if label == SINGULAR:
+            continue
+        lat = lambda q: (np.percentile(result.e2e, q) - np.percentile(base.e2e, q)) / np.percentile(base.e2e, q)
+        cpu = (np.percentile(result.cpu, 50) - np.percentile(base.cpu, 50)) / np.percentile(base.cpu, 50)
+        rows.append((label, f"{lat(50):+.1%}", f"{lat(99):+.1%}", f"{cpu:+.1%}"))
+    print()
+    print(
+        format_table(
+            ["configuration", "P50 latency", "P99 latency", "P50 compute"],
+            rows,
+            title=f"Serving overheads vs singular ({settings.num_requests} serial requests)",
+        )
+    )
+    print(
+        "\ntakeaway: more shards trade compute overhead for latency;"
+        " NSBP minimizes RPCs (compute) at the cost of parallelism (latency)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro: reproduction of "Understanding Capacity-Driven Scale-Out Neural
+Recommendation Inference" (Lui et al., ISPASS 2021).
+
+The package provides, as importable subsystems:
+
+* :mod:`repro.models` -- the DRM1/DRM2/DRM3 synthetic model zoo;
+* :mod:`repro.core` -- operator graphs and real numeric DLRM execution;
+* :mod:`repro.sharding` -- capacity-driven sharding strategies and the
+  model partitioner;
+* :mod:`repro.requests` -- production-like request synthesis and replay;
+* :mod:`repro.simulation` -- the discrete-event kernel, platforms,
+  network fabric, and calibrated cost model;
+* :mod:`repro.serving` -- the simulated distributed serving stack and
+  replication planner;
+* :mod:`repro.tracing` -- the cross-layer distributed tracing framework;
+* :mod:`repro.compression` -- row-wise quantization and pruning;
+* :mod:`repro.analysis` / :mod:`repro.experiments` -- quantile analysis
+  and the per-figure experiment harness.
+
+Quickstart::
+
+    from repro.models import drm1
+    from repro.experiments import run_suite, figures
+
+    results = run_suite(drm1())
+    print(figures.fig6_overheads(results, "DRM1").text)
+"""
+
+from repro.models import build, drm1, drm2, drm3
+from repro.experiments import (
+    RunResult,
+    SuiteSettings,
+    figures,
+    paper_configurations,
+    run_configuration,
+    run_suite,
+)
+from repro.serving import ClusterSimulation, ServingConfig
+from repro.sharding import STRATEGIES, ShardingPlan, estimate_pooling_factors, singular_plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSimulation",
+    "RunResult",
+    "STRATEGIES",
+    "ServingConfig",
+    "ShardingPlan",
+    "SuiteSettings",
+    "build",
+    "drm1",
+    "drm2",
+    "drm3",
+    "estimate_pooling_factors",
+    "figures",
+    "paper_configurations",
+    "run_configuration",
+    "run_suite",
+    "singular_plan",
+]

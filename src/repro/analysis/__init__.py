@@ -1,0 +1,39 @@
+"""Analysis: quantiles, overheads, stack aggregation, text reports."""
+
+from repro.analysis.caching import (
+    CachePoint,
+    cache_curve,
+    dram_reduction_at_hit_target,
+    frequency_hit_rate,
+    lru_hit_rate,
+    working_set_rows,
+)
+from repro.analysis.quantiles import (
+    QUANTILES,
+    OverheadPoint,
+    median_window_mean,
+    overhead_series,
+    overhead_vs_baseline,
+    quantile,
+    quantiles,
+)
+from repro.analysis.report import format_stack_bars, format_table, save_artifact
+
+__all__ = [
+    "CachePoint",
+    "OverheadPoint",
+    "cache_curve",
+    "dram_reduction_at_hit_target",
+    "frequency_hit_rate",
+    "lru_hit_rate",
+    "working_set_rows",
+    "QUANTILES",
+    "format_stack_bars",
+    "format_table",
+    "median_window_mean",
+    "overhead_series",
+    "overhead_vs_baseline",
+    "quantile",
+    "quantiles",
+    "save_artifact",
+]

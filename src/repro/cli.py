@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main workflows without writing code:
+
+* ``models``   -- list the model zoo with capacity/table summaries;
+* ``shard``    -- build a sharding plan and print (or save) it;
+* ``simulate`` -- run one configuration and print latency/CPU quantiles;
+* ``suite``    -- run the paper's configuration matrix and print Figure-6
+  style overheads;
+* ``trace``    -- replay one request and render the Figure-3 timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.types import GIB
+from repro.experiments.configs import ShardingConfiguration, build_plan
+from repro.experiments.runner import run_configuration, run_suite, SuiteSettings
+from repro.models.zoo import MODEL_FACTORIES, build
+from repro.requests.generator import RequestGenerator
+from repro.serving.simulator import ClusterSimulation, ServingConfig
+from repro.sharding.plan import SINGULAR
+from repro.sharding.pooling import estimate_pooling_factors
+from repro.sharding.serialization import dump_plan
+from repro.tracing.visualize import render_trace
+
+
+def _add_model_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="DRM1", choices=sorted(MODEL_FACTORIES),
+        help="zoo model to operate on",
+    )
+
+
+def _configuration(args: argparse.Namespace) -> ShardingConfiguration:
+    if args.strategy == SINGULAR:
+        return ShardingConfiguration(SINGULAR)
+    if args.strategy == "1-shard":
+        return ShardingConfiguration("1-shard", 1)
+    return ShardingConfiguration(args.strategy, args.shards)
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(MODEL_FACTORIES):
+        model = build(name)
+        pooling = model.expected_pooling_per_net()
+        rows.append(
+            (
+                name,
+                len(model.tables),
+                round(model.sparse_bytes / GIB, 2),
+                round(model.largest_table_bytes / GIB, 2),
+                len(model.nets),
+                round(sum(pooling.values()), 1),
+            )
+        )
+    print(
+        format_table(
+            ["model", "tables", "sparse GiB", "largest GiB", "nets", "ids/request"],
+            rows,
+            title="Model zoo",
+        )
+    )
+    return 0
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    model = build(args.model)
+    pooling = estimate_pooling_factors(model, num_requests=args.pooling_requests)
+    plan = build_plan(model, _configuration(args), pooling)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dump_plan(plan))
+        print(f"wrote {plan.label} plan to {args.output}")
+        return 0
+    rows = [
+        (
+            shard.index + 1,
+            round(shard.capacity_bytes(model) / GIB, 2),
+            len(shard.assignments),
+            ", ".join(sorted(shard.nets_present(model))),
+        )
+        for shard in plan.shards
+    ]
+    print(
+        format_table(
+            ["shard", "capacity GiB", "tables", "nets"],
+            rows,
+            title=f"{model.name}: {plan.label}",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    model = build(args.model)
+    pooling = estimate_pooling_factors(model, num_requests=args.pooling_requests)
+    plan = build_plan(model, _configuration(args), pooling)
+    requests = RequestGenerator(model, seed=args.seed).generate_many(args.requests)
+    result = run_configuration(
+        model, plan, requests, ServingConfig(seed=args.seed)
+    )
+    rows = [
+        (
+            f"P{q}",
+            round(float(np.percentile(result.e2e, q)) * 1e3, 3),
+            round(float(np.percentile(result.cpu, q)) * 1e3, 3),
+        )
+        for q in (50, 90, 99)
+    ]
+    print(
+        format_table(
+            ["quantile", "E2E latency (ms)", "aggregate CPU (ms)"],
+            rows,
+            title=f"{model.name} / {plan.label} ({args.requests} serial requests)",
+        )
+    )
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    model = build(args.model)
+    settings = SuiteSettings(
+        num_requests=args.requests, serving=ServingConfig(seed=args.seed)
+    )
+    results = run_suite(model, settings)
+    base = results[SINGULAR]
+    rows = []
+    for label, result in results.items():
+        if label == SINGULAR:
+            continue
+        row = [label]
+        for q in (50, 99):
+            overhead = (
+                np.percentile(result.e2e, q) - np.percentile(base.e2e, q)
+            ) / np.percentile(base.e2e, q)
+            row.append(f"{overhead:+.1%}")
+        cpu = (
+            np.percentile(result.cpu, 50) - np.percentile(base.cpu, 50)
+        ) / np.percentile(base.cpu, 50)
+        row.append(f"{cpu:+.1%}")
+        rows.append(tuple(row))
+    print(
+        format_table(
+            ["configuration", "P50 latency", "P99 latency", "P50 compute"],
+            rows,
+            title=f"{model.name} overheads vs singular ({args.requests} requests)",
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    model = build(args.model)
+    pooling = estimate_pooling_factors(model, num_requests=args.pooling_requests)
+    plan = build_plan(model, _configuration(args), pooling)
+    request = RequestGenerator(model, seed=args.seed).generate(args.request_id)
+    cluster = ClusterSimulation(model, plan, ServingConfig(seed=args.seed))
+    cluster.run_serial([request])
+    print(render_trace(cluster.tracer.for_request(request.request_id), width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Capacity-driven scale-out recommendation inference (ISPASS 2021 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("models", help="list the model zoo").set_defaults(func=cmd_models)
+
+    def add_plan_arguments(sub: argparse.ArgumentParser) -> None:
+        _add_model_argument(sub)
+        sub.add_argument(
+            "--strategy", default="load-bal",
+            choices=[SINGULAR, "1-shard", "load-bal", "cap-bal", "NSBP"],
+        )
+        sub.add_argument("--shards", type=int, default=8)
+        sub.add_argument("--pooling-requests", type=int, default=300)
+        sub.add_argument("--seed", type=int, default=1)
+
+    shard = commands.add_parser("shard", help="build and print a sharding plan")
+    add_plan_arguments(shard)
+    shard.add_argument("--output", help="write the plan as JSON to this path")
+    shard.set_defaults(func=cmd_shard)
+
+    simulate = commands.add_parser("simulate", help="simulate one configuration")
+    add_plan_arguments(simulate)
+    simulate.add_argument("--requests", type=int, default=150)
+    simulate.set_defaults(func=cmd_simulate)
+
+    suite = commands.add_parser("suite", help="run the paper's config matrix")
+    _add_model_argument(suite)
+    suite.add_argument("--requests", type=int, default=120)
+    suite.add_argument("--seed", type=int, default=1)
+    suite.set_defaults(func=cmd_suite)
+
+    trace = commands.add_parser("trace", help="render one request's trace")
+    add_plan_arguments(trace)
+    trace.add_argument("--request-id", type=int, default=0)
+    trace.add_argument("--width", type=int, default=96)
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Model-level compression pipeline and size accounting (Table III).
+
+Reproduces the paper's production compression recipe: "All tables were
+row-wise linear quantized to at least 8-bits, and sufficiently large
+tables were quantized to 4-bits.  Tables were manually pruned ... based on
+a threshold magnitude or training update frequency."  The pipeline
+
+* rewrites a model config's table dtypes/row counts (full-scale size
+  accounting -- no 200 GB allocations), and
+* compresses materialized tables for real (quantize + prune), for the
+  numeric fidelity tests.
+
+The paper's headline: DRM1 shrinks 5.56x (194.46 GB -> 35 GB) yet still
+cannot fit commodity ~50 GB servers -- compression alone is insufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import GIB, DType
+from repro.models.config import ModelConfig, TableConfig
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Recipe knobs, defaulted to reproduce the paper's 5.56x on DRM1."""
+
+    int4_threshold_bytes: float = 1.5 * GIB
+    """Tables at least this large are quantized to 4 bits ("sufficiently
+    large tables"); smaller ones get 8 bits."""
+
+    prune_threshold_bytes: float = 0.50 * GIB
+    """Tables at least this large are pruned (cold rows dropped)."""
+
+    prune_keep_fraction: float = 0.72
+    """Fraction of rows surviving pruning on prunable tables."""
+
+
+@dataclass
+class CompressionReport:
+    """Before/after accounting for one compressed model."""
+
+    model_name: str
+    uncompressed_bytes: float
+    compressed_bytes: float
+    tables_int8: int = 0
+    tables_int4: int = 0
+    tables_pruned: int = 0
+    per_table: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        return self.uncompressed_bytes / self.compressed_bytes
+
+    def fits_servers(self, usable_dram: float) -> int:
+        """How many ``usable_dram``-sized servers the compressed model
+        still needs (the paper uses ~50 GB usable DRAM per web server)."""
+        import math
+
+        return max(1, math.ceil(self.compressed_bytes / usable_dram))
+
+
+def compress_table_config(table: TableConfig, spec: CompressionSpec) -> TableConfig:
+    """Metadata-level compression of one table."""
+    dtype = DType.INT4 if table.nbytes >= spec.int4_threshold_bytes else DType.INT8
+    num_rows = table.num_rows
+    if table.nbytes >= spec.prune_threshold_bytes:
+        num_rows = max(1, int(round(num_rows * spec.prune_keep_fraction)))
+    return TableConfig(
+        name=table.name,
+        net=table.net,
+        num_rows=num_rows,
+        dim=table.dim,
+        dtype=dtype,
+        scope=table.scope,
+        activation_prob=table.activation_prob,
+        mean_ids=table.mean_ids,
+        deterministic_ids=table.deterministic_ids,
+    )
+
+
+def compress_model(
+    model: ModelConfig, spec: CompressionSpec | None = None
+) -> tuple[ModelConfig, CompressionReport]:
+    """Compress a model config; returns the new config and the report.
+
+    The compressed model keeps its request profile and dense nets: lookup
+    counts are unchanged (pruned rows collapse to a shared zero row), so
+    serving behaviour is directly comparable -- exactly the paper's
+    Table III methodology.
+    """
+    spec = spec or CompressionSpec()
+    report = CompressionReport(
+        model_name=model.name,
+        uncompressed_bytes=model.total_bytes,
+        compressed_bytes=model.dense_param_bytes,
+    )
+    compressed_tables = []
+    for table in model.tables:
+        new_table = compress_table_config(table, spec)
+        compressed_tables.append(new_table)
+        report.compressed_bytes += new_table.nbytes
+        report.per_table[table.name] = (table.nbytes, new_table.nbytes)
+        if new_table.dtype is DType.INT4:
+            report.tables_int4 += 1
+        else:
+            report.tables_int8 += 1
+        if new_table.num_rows < table.num_rows:
+            report.tables_pruned += 1
+    compressed = ModelConfig(
+        name=f"{model.name}-compressed",
+        nets=model.nets,
+        tables=tuple(compressed_tables),
+        profile=model.profile,
+        dense_param_bytes=model.dense_param_bytes,
+    )
+    return compressed, report

@@ -1,0 +1,12 @@
+"""Core substrate: operator graphs, numeric execution, embedding tables.
+
+This package init stays import-light to avoid cycles: ``repro.models``
+depends on :mod:`repro.core.types`, while the heavier numeric modules
+(:mod:`repro.core.dlrm`, :mod:`repro.core.embedding`) depend on
+``repro.models``.  Import those submodules directly, or use the top-level
+:mod:`repro` namespace which re-exports everything.
+"""
+
+from repro.core.types import DType, OpCategory
+
+__all__ = ["DType", "OpCategory"]

@@ -1,0 +1,308 @@
+"""Materialized, executable DLRM-like models.
+
+Builds a real (reduced-scale) version of a :class:`repro.models.ModelConfig`
+as operator graphs over numpy weights, following the architecture of paper
+Figure 2a:
+
+* each non-final net (the *user* net) embeds its sparse features, combines
+  them with dense features through an MLP, and emits a request-level
+  feature vector;
+* the final net (the *content/product* net) embeds its per-item sparse
+  features, consumes the prior net's output, applies dot-product feature
+  interaction, and scores every candidate item with a top MLP + sigmoid.
+
+This numeric path exists to *prove* that sharded execution is equivalent to
+singular execution; the serving simulator handles timing at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.embedding import EmbeddingTable
+from repro.core.graph import ModelGraph, Net
+from repro.core.operators import (
+    Clip,
+    Concat,
+    DotInteraction,
+    FullyConnected,
+    HashMod,
+    Relu,
+    Sigmoid,
+    SparseLengthsSum,
+    Workspace,
+)
+from repro.core.executor import NetExecutor
+from repro.core.rng import substream
+from repro.models.config import FeatureScope, ModelConfig, TableConfig
+
+
+@dataclass(frozen=True)
+class SparseInput:
+    """Raw ids and per-segment lengths for one table's feature."""
+
+    values: np.ndarray
+    lengths: np.ndarray
+
+
+@dataclass
+class NumericRequest:
+    """A fully materialized inference request for the numeric path."""
+
+    request_id: int
+    num_items: int
+    user_dense: np.ndarray
+    item_dense: np.ndarray
+    sparse: dict[str, SparseInput] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MaterializedDims:
+    """Dense-layer widths of the materialized model."""
+
+    d_user: int = 16
+    d_item: int = 16
+    d_hidden: int = 32
+    d_proj: int = 24
+    d_interact: int = 16
+    d_top: int = 32
+
+
+class MaterializedModel:
+    """A runnable reduced-scale instance of a model config."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        tables: dict[str, EmbeddingTable],
+        params: dict[str, np.ndarray],
+        dims: MaterializedDims,
+    ):
+        self.config = config
+        self.tables = tables
+        self.params = params
+        self.dims = dims
+        self.graph = self._build_graph()
+        self.graph.validate()
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: ModelConfig,
+        max_rows: int = 256,
+        seed: int = 0,
+        dims: MaterializedDims | None = None,
+    ) -> "MaterializedModel":
+        dims = dims or MaterializedDims()
+        tables = {
+            table.name: EmbeddingTable.materialize(table, max_rows=max_rows, seed=seed)
+            for table in config.tables
+        }
+        params = cls._init_params(config, tables, dims, seed)
+        return cls(config, tables, params, dims)
+
+    @staticmethod
+    def _init_params(
+        config: ModelConfig,
+        tables: dict[str, EmbeddingTable],
+        dims: MaterializedDims,
+        seed: int,
+    ) -> dict[str, np.ndarray]:
+        rng = substream(seed, "dense-params", config.name)
+
+        def mat(name: str, rows: int, cols: int) -> None:
+            params[name + "_w"] = rng.normal(0, 0.1, size=(rows, cols)).astype(np.float32)
+            params[name + "_b"] = rng.normal(0, 0.01, size=(rows,)).astype(np.float32)
+
+        params: dict[str, np.ndarray] = {}
+        final = config.nets[-1].name
+        for net_cfg in config.nets:
+            name = net_cfg.name
+            table_width = sum(tables[t.name].dim for t in config.tables_for_net(name))
+            if name != final:
+                mat(f"{name}_bottom", dims.d_hidden, dims.d_user)
+                mat(f"{name}_proj", dims.d_proj, dims.d_hidden + table_width)
+            else:
+                mat(f"{name}_bottom", dims.d_hidden, dims.d_item)
+                if len(config.nets) > 1:
+                    mat(f"{name}_uint", dims.d_interact, dims.d_proj)
+                else:
+                    mat(f"{name}_uint", dims.d_interact, dims.d_user)
+                mat(f"{name}_iint", dims.d_interact, dims.d_hidden)
+                concat_width = dims.d_hidden + table_width + dims.d_interact + 1
+                mat(f"{name}_top1", dims.d_top, concat_width)
+                mat(f"{name}_top2", 1, dims.d_top)
+        return params
+
+    def _sls_ops(self, net: Net, table: TableConfig) -> str:
+        """Append Hash + SLS ops for one table; return the pooled blob name."""
+        t = table.name
+        net.add(
+            HashMod(
+                name=f"hash_{t}",
+                inputs=(f"{t}_values",),
+                outputs=(f"{t}_hashed",),
+                num_buckets=self.tables[t].num_rows,
+            )
+        )
+        net.add(
+            SparseLengthsSum(
+                name=f"sls_{t}",
+                inputs=(f"{t}_hashed", f"{t}_lengths"),
+                outputs=(f"{t}_pooled",),
+                table=self.tables[t],
+            )
+        )
+        return f"{t}_pooled"
+
+    def _build_graph(self) -> ModelGraph:
+        graph = ModelGraph(self.config.name)
+        final = self.config.nets[-1].name
+        for net_cfg in self.config.nets:
+            name = net_cfg.name
+            net = Net(name)
+            net.external_inputs.update(
+                blob
+                for table in self.config.tables_for_net(name)
+                for blob in (f"{table.name}_values", f"{table.name}_lengths")
+            )
+            net.external_inputs.update(p for p in self.params if p.startswith(f"{name}_"))
+            if name != final:
+                self._build_user_net(net, name)
+            else:
+                self._build_final_net(net, name)
+            graph.nets.append(net)
+        return graph
+
+    def _build_user_net(self, net: Net, name: str) -> None:
+        net.external_inputs.add("user_dense")
+        net.add(Clip(name=f"{name}_clip", inputs=("user_dense",), outputs=(f"{name}_clipped",), lo=-10, hi=10))
+        net.add(
+            FullyConnected(
+                name=f"{name}_bottom",
+                inputs=(f"{name}_clipped",),
+                outputs=(f"{name}_h_raw",),
+                weight_blob=f"{name}_bottom_w",
+                bias_blob=f"{name}_bottom_b",
+            )
+        )
+        net.add(Relu(name=f"{name}_relu1", inputs=(f"{name}_h_raw",), outputs=(f"{name}_h",)))
+        pooled = [self._sls_ops(net, t) for t in self.config.tables_for_net(name)]
+        net.add(
+            Concat(
+                name=f"{name}_concat",
+                inputs=tuple([f"{name}_h"] + pooled),
+                outputs=(f"{name}_concat_out",),
+            )
+        )
+        net.add(
+            FullyConnected(
+                name=f"{name}_proj",
+                inputs=(f"{name}_concat_out",),
+                outputs=(f"{name}_proj_raw",),
+                weight_blob=f"{name}_proj_w",
+                bias_blob=f"{name}_proj_b",
+            )
+        )
+        net.add(Relu(name=f"{name}_relu2", inputs=(f"{name}_proj_raw",), outputs=(f"{name}_out",)))
+        net.external_outputs.append(f"{name}_out")
+
+    def _build_final_net(self, net: Net, name: str) -> None:
+        multi_net = len(self.config.nets) > 1
+        net.external_inputs.add("item_dense")
+        user_source = f"{self.config.nets[-2].name}_out" if multi_net else "user_dense"
+        net.external_inputs.add(user_source)
+        net.add(
+            FullyConnected(
+                name=f"{name}_bottom",
+                inputs=("item_dense",),
+                outputs=(f"{name}_h_raw",),
+                weight_blob=f"{name}_bottom_w",
+                bias_blob=f"{name}_bottom_b",
+            )
+        )
+        net.add(Relu(name=f"{name}_relu1", inputs=(f"{name}_h_raw",), outputs=(f"{name}_h",)))
+        pooled = [self._sls_ops(net, t) for t in self.config.tables_for_net(name)]
+        net.add(
+            FullyConnected(
+                name=f"{name}_uint",
+                inputs=(user_source,),
+                outputs=(f"{name}_u_int",),
+                weight_blob=f"{name}_uint_w",
+                bias_blob=f"{name}_uint_b",
+            )
+        )
+        net.add(
+            FullyConnected(
+                name=f"{name}_iint",
+                inputs=(f"{name}_h",),
+                outputs=(f"{name}_i_int",),
+                weight_blob=f"{name}_iint_w",
+                bias_blob=f"{name}_iint_b",
+            )
+        )
+        net.add(
+            DotInteraction(
+                name=f"{name}_dot",
+                inputs=(f"{name}_u_int", f"{name}_i_int"),
+                outputs=(f"{name}_dot_out",),
+            )
+        )
+        net.add(
+            Concat(
+                name=f"{name}_concat",
+                inputs=tuple([f"{name}_h"] + pooled + [f"{name}_u_int", f"{name}_dot_out"]),
+                outputs=(f"{name}_concat_out",),
+            )
+        )
+        net.add(
+            FullyConnected(
+                name=f"{name}_top1",
+                inputs=(f"{name}_concat_out",),
+                outputs=(f"{name}_top1_raw",),
+                weight_blob=f"{name}_top1_w",
+                bias_blob=f"{name}_top1_b",
+            )
+        )
+        net.add(Relu(name=f"{name}_relu2", inputs=(f"{name}_top1_raw",), outputs=(f"{name}_top1_out",)))
+        net.add(
+            FullyConnected(
+                name=f"{name}_top2",
+                inputs=(f"{name}_top1_out",),
+                outputs=(f"{name}_logit",),
+                weight_blob=f"{name}_top2_w",
+                bias_blob=f"{name}_top2_b",
+            )
+        )
+        net.add(Sigmoid(name=f"{name}_sigmoid", inputs=(f"{name}_logit",), outputs=("scores",)))
+        net.external_outputs.append("scores")
+
+    # -- execution -----------------------------------------------------------
+    def feed_request(self, workspace: Workspace, request: NumericRequest) -> None:
+        """Feed parameters and request blobs into a workspace."""
+        for name, value in self.params.items():
+            workspace.feed(name, value)
+        workspace.feed("user_dense", np.atleast_2d(request.user_dense))
+        workspace.feed("item_dense", np.atleast_2d(request.item_dense))
+        for table in self.config.tables:
+            sparse = request.sparse.get(table.name)
+            if sparse is None:
+                segments = (
+                    request.num_items if table.scope is FeatureScope.ITEM else 1
+                )
+                values = np.zeros(0, dtype=np.int64)
+                lengths = np.zeros(segments, dtype=np.int64)
+            else:
+                values, lengths = sparse.values, sparse.lengths
+            workspace.feed(f"{table.name}_values", values)
+            workspace.feed(f"{table.name}_lengths", lengths)
+
+    def forward(self, request: NumericRequest) -> np.ndarray:
+        """Score every candidate item; returns a (num_items,) array."""
+        executor = NetExecutor()
+        self.feed_request(executor.workspace, request)
+        executor.run_model(self.graph)
+        return executor.workspace.fetch("scores").reshape(-1)

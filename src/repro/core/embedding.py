@@ -1,0 +1,160 @@
+"""Embedding tables: pooled lookups and row partitioning.
+
+The ``SparseLengthsSum`` (SLS) operator family (paper Section II-1) gathers
+rows of an embedding table by id and sum-pools them per output segment.
+Tables too large for any single shard are *row partitioned* with a modulus
+hash (Section III-A1): row ``r`` lives on partition ``r % P`` at local
+index ``r // P``, ids are routed the same way, and the pooled partial sums
+from each partition add back to the unpartitioned result (sum pooling is
+associative).
+
+Tables exist in two forms:
+
+* **virtual** -- metadata only (:class:`repro.models.TableConfig`), used by
+  the capacity-driven sharding strategies and the serving simulator at
+  full production scale;
+* **materialized** -- real ``numpy`` weights at reduced row counts, used to
+  prove that distributed execution is numerically identical to singular
+  execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rng import substream
+from repro.models.config import TableConfig
+
+
+class EmbeddingTable:
+    """A materialized embedding table with sum-pooled lookup."""
+
+    def __init__(self, config: TableConfig, weights: np.ndarray):
+        if weights.ndim != 2:
+            raise ValueError("weights must be a 2-D (rows x dim) array")
+        if weights.shape[1] != config.dim:
+            raise ValueError(
+                f"table {config.name}: weights dim {weights.shape[1]} != config dim {config.dim}"
+            )
+        self.config = config
+        self.weights = weights
+
+    @property
+    def num_rows(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.weights.shape[1]
+
+    @classmethod
+    def materialize(
+        cls, config: TableConfig, max_rows: int = 512, seed: int = 0
+    ) -> "EmbeddingTable":
+        """Build real weights for ``config``, capping rows at ``max_rows``.
+
+        Mirrors the paper's methodology of proportionally scaling tables
+        down to fit the experiment platform (Section V-A).
+        """
+        rows = min(config.num_rows, max_rows)
+        rng = substream(seed, "weights", config.name)
+        weights = rng.normal(0.0, 0.05, size=(rows, config.dim)).astype(np.float32)
+        return cls(config, weights)
+
+    def lookup_sum(self, values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """SparseLengthsSum: sum-pool rows per segment.
+
+        Args:
+            values: Flat array of row ids, already hashed into range.
+            lengths: Ids per output segment; ``sum(lengths) == len(values)``.
+
+        Returns:
+            ``(len(lengths), dim)`` float32 matrix; empty segments are zero.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= self.num_rows):
+            raise IndexError(
+                f"table {self.config.name}: id out of range [0, {self.num_rows})"
+            )
+        if int(lengths.sum()) != values.size:
+            raise ValueError("sum(lengths) must equal len(values)")
+        output = np.zeros((lengths.size, self.dim), dtype=np.float32)
+        if values.size:
+            segments = np.repeat(np.arange(lengths.size), lengths)
+            np.add.at(output, segments, self.weights[values])
+        return output
+
+
+@dataclass(frozen=True)
+class RowShardRouting:
+    """Routing metadata for one partition of a row-partitioned table."""
+
+    table_name: str
+    part_index: int
+    num_parts: int
+
+    def owns(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask of the ids this partition serves (``id % P == k``)."""
+        return (np.asarray(ids, dtype=np.int64) % self.num_parts) == self.part_index
+
+    def to_local(self, ids: np.ndarray) -> np.ndarray:
+        """Map global row ids to this partition's compacted local ids."""
+        return np.asarray(ids, dtype=np.int64) // self.num_parts
+
+
+class PartitionedEmbeddingTable:
+    """One partition of a row-partitioned table, with compacted storage."""
+
+    def __init__(self, parent: EmbeddingTable, routing: RowShardRouting):
+        self.routing = routing
+        self.config = parent.config
+        self.weights = parent.weights[routing.part_index :: routing.num_parts]
+        self._local = EmbeddingTable(_reshaped_config(parent.config, self.weights), self.weights)
+
+    @property
+    def num_rows(self) -> int:
+        return self.weights.shape[0]
+
+    def lookup_sum_partial(self, values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Partial SLS over only the ids owned by this partition.
+
+        ``values``/``lengths`` describe the *full* lookup; ids belonging to
+        other partitions are dropped, so summing every partition's partial
+        result reconstructs the unpartitioned pooled output exactly.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        mask = self.routing.owns(values)
+        segments = np.repeat(np.arange(lengths.size), lengths)
+        local_values = self.routing.to_local(values[mask])
+        local_lengths = np.bincount(segments[mask], minlength=lengths.size)
+        return self._local.lookup_sum(local_values, local_lengths)
+
+
+def partition_table(table: EmbeddingTable, num_parts: int) -> list[PartitionedEmbeddingTable]:
+    """Split a materialized table into ``num_parts`` row partitions."""
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    return [
+        PartitionedEmbeddingTable(
+            table, RowShardRouting(table.config.name, part, num_parts)
+        )
+        for part in range(num_parts)
+    ]
+
+
+def _reshaped_config(config: TableConfig, weights: np.ndarray) -> TableConfig:
+    """Clone a table config with the partition's (smaller) row count."""
+    return TableConfig(
+        name=config.name,
+        net=config.net,
+        num_rows=max(1, weights.shape[0]),
+        dim=config.dim,
+        dtype=config.dtype,
+        scope=config.scope,
+        activation_prob=config.activation_prob,
+        mean_ids=config.mean_ids,
+    )

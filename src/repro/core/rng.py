@@ -1,0 +1,35 @@
+"""Deterministic, independently-seeded random streams.
+
+Every stochastic component of the library (request synthesis, network
+jitter, shard-to-server mapping, ...) draws from its own named substream so
+that experiments are reproducible and components can be re-seeded without
+perturbing one another.  Substreams are derived by hashing the root seed
+together with a tuple of string/int keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(root_seed: int, *keys: object) -> int:
+    """Derive a stable 64-bit seed from ``root_seed`` and a key path.
+
+    The same ``(root_seed, *keys)`` always maps to the same seed on every
+    platform and Python version (no reliance on ``hash()``).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root_seed)).encode("utf-8"))
+    for key in keys:
+        hasher.update(b"\x1f")
+        hasher.update(repr(key).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "little") & _MASK64
+
+
+def substream(root_seed: int, *keys: object) -> np.random.Generator:
+    """Return a ``numpy`` generator for the named substream."""
+    return np.random.default_rng(derive_seed(root_seed, *keys))

@@ -1,0 +1,31 @@
+"""Experiment harness: configuration matrix, runner, figure generators."""
+
+from repro.experiments.configs import (
+    PAPER_SHARD_COUNTS,
+    ShardingConfiguration,
+    build_plan,
+    paper_configurations,
+)
+from repro.experiments.runner import (
+    RunResult,
+    SuiteSettings,
+    default_num_requests,
+    run_configuration,
+    run_suite,
+    suite_requests,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "PAPER_SHARD_COUNTS",
+    "RunResult",
+    "ShardingConfiguration",
+    "SuiteSettings",
+    "build_plan",
+    "default_num_requests",
+    "figures",
+    "paper_configurations",
+    "run_configuration",
+    "run_suite",
+    "suite_requests",
+]

@@ -1,0 +1,64 @@
+"""The paper's sharding-configuration matrix (Table I / Section V-A).
+
+DRM1 and DRM2 are evaluated under ten configurations: singular, one sparse
+shard, and {2, 4, 8} shards for each of load-balanced, capacity-balanced
+and NSBP.  DRM3 "is only sharded with NSBP ... due to existing technical
+challenges of sharding huge tables", so its matrix is singular, 1-shard,
+and NSBP {4, 8}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.sharding.plan import SINGULAR, ShardingPlan, singular_plan
+from repro.sharding.strategies import STRATEGIES
+
+PAPER_SHARD_COUNTS = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ShardingConfiguration:
+    """One point of the evaluation matrix."""
+
+    strategy: str
+    num_shards: int = 0
+
+    @property
+    def label(self) -> str:
+        if self.strategy == SINGULAR:
+            return SINGULAR
+        if self.strategy == "1-shard":
+            return "1 shard"
+        return f"{self.strategy} {self.num_shards} shards"
+
+
+def paper_configurations(model_name: str) -> tuple[ShardingConfiguration, ...]:
+    """The configurations the paper evaluates for a given model."""
+    configs = [
+        ShardingConfiguration(SINGULAR),
+        ShardingConfiguration("1-shard", 1),
+    ]
+    if model_name.upper() == "DRM3":
+        configs.extend(
+            ShardingConfiguration("NSBP", count) for count in (4, 8)
+        )
+        return tuple(configs)
+    for strategy in ("load-bal", "cap-bal", "NSBP"):
+        configs.extend(
+            ShardingConfiguration(strategy, count) for count in PAPER_SHARD_COUNTS
+        )
+    return tuple(configs)
+
+
+def build_plan(
+    model: ModelConfig,
+    configuration: ShardingConfiguration,
+    pooling: dict[str, float] | None = None,
+) -> ShardingPlan:
+    """Materialize one configuration into a validated sharding plan."""
+    if configuration.strategy == SINGULAR:
+        return singular_plan(model)
+    strategy = STRATEGIES[configuration.strategy]
+    return strategy.build_plan(model, configuration.num_shards, pooling)

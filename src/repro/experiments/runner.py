@@ -1,0 +1,146 @@
+"""Experiment runner: simulate configurations, collect attributed results.
+
+One :class:`RunResult` holds everything the figure generators need for one
+(model, sharding configuration, serving configuration) cell: per-request
+E2E latency, per-request aggregate CPU, and the full per-request
+attributions.  Traces are attributed incrementally as requests complete
+and raw spans are freed, so full sweeps stay memory-bounded.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.requests.generator import Request, RequestGenerator
+from repro.requests.replayer import ReplayMode, ReplaySchedule
+from repro.serving.simulator import ClusterSimulation, ServingConfig
+from repro.sharding.plan import ShardingPlan
+from repro.sharding.pooling import estimate_pooling_factors
+from repro.tracing.attribution import RequestAttribution, attribute_request
+from repro.experiments.configs import (
+    ShardingConfiguration,
+    build_plan,
+    paper_configurations,
+)
+
+#: Environment knob: request count per configuration in suites/benches.
+REQUESTS_ENV = "REPRO_REQUESTS"
+DEFAULT_REQUESTS = 200
+
+
+def default_num_requests() -> int:
+    return int(os.environ.get(REQUESTS_ENV, DEFAULT_REQUESTS))
+
+
+@dataclass
+class RunResult:
+    """Attributed measurements for one simulated configuration."""
+
+    model_name: str
+    label: str
+    plan: ShardingPlan
+    attributions: list[RequestAttribution] = field(default_factory=list)
+
+    @property
+    def e2e(self) -> np.ndarray:
+        return np.array([a.e2e for a in self.attributions])
+
+    @property
+    def cpu(self) -> np.ndarray:
+        return np.array([a.cpu_total for a in self.attributions])
+
+    def latency_stacks(self) -> list[dict[str, float]]:
+        return [a.latency_stack for a in self.attributions]
+
+    def embedded_stacks(self) -> list[dict[str, float]]:
+        return [a.embedded_stack for a in self.attributions]
+
+    def cpu_stacks(self) -> list[dict[str, float]]:
+        return [a.cpu_stack for a in self.attributions]
+
+    def mean_per_shard_op_time(self) -> dict[int, float]:
+        totals: dict[int, float] = {}
+        for attribution in self.attributions:
+            for shard, value in attribution.per_shard_op_time.items():
+                totals[shard] = totals.get(shard, 0.0) + value
+        return {shard: v / len(self.attributions) for shard, v in sorted(totals.items())}
+
+    def mean_per_shard_net_op_time(self) -> dict[tuple[int, str], float]:
+        totals: dict[tuple[int, str], float] = {}
+        for attribution in self.attributions:
+            for key, value in attribution.per_shard_net_op_time.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return {key: v / len(self.attributions) for key, v in sorted(totals.items())}
+
+
+def run_configuration(
+    model: ModelConfig,
+    plan: ShardingPlan,
+    requests: list[Request],
+    serving: ServingConfig | None = None,
+    schedule: ReplaySchedule | None = None,
+) -> RunResult:
+    """Simulate one configuration and attribute every request."""
+    schedule = schedule or ReplaySchedule.serial()
+    cluster = ClusterSimulation(model, plan, serving)
+    result = RunResult(model_name=model.name, label=plan.label, plan=plan)
+
+    def on_complete(request_id: int) -> None:
+        spans = cluster.tracer.pop_request(request_id)
+        result.attributions.append(attribute_request(spans))
+
+    cluster.on_complete = on_complete
+    if schedule.mode is ReplayMode.SERIAL:
+        cluster.run_serial(requests)
+    else:
+        cluster.run_open_loop(requests, schedule)
+    return result
+
+
+@dataclass(frozen=True)
+class SuiteSettings:
+    """Shared settings for a paper-style sweep over configurations."""
+
+    num_requests: int = 0  # 0 -> default_num_requests()
+    request_seed: int = 3
+    pooling_requests: int = 1000
+    pooling_seed: int = 42
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    schedule: ReplaySchedule = field(default_factory=ReplaySchedule.serial)
+
+    def resolved_requests(self) -> int:
+        return self.num_requests or default_num_requests()
+
+
+def suite_requests(model: ModelConfig, settings: SuiteSettings) -> list[Request]:
+    generator = RequestGenerator(model, seed=settings.request_seed)
+    return generator.generate_many(settings.resolved_requests())
+
+
+def run_suite(
+    model: ModelConfig,
+    settings: SuiteSettings | None = None,
+    configurations: tuple[ShardingConfiguration, ...] | None = None,
+) -> dict[str, RunResult]:
+    """Run the paper's configuration matrix for one model.
+
+    Every configuration replays the *same* request sample (the paper's
+    replayer preprocesses and caches requests before sending).
+    """
+    settings = settings or SuiteSettings()
+    configurations = configurations or paper_configurations(model.name)
+    requests = suite_requests(model, settings)
+    pooling = estimate_pooling_factors(
+        model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
+    )
+    results: dict[str, RunResult] = {}
+    for configuration in configurations:
+        plan = build_plan(model, configuration, pooling)
+        results[plan.label] = run_configuration(
+            model, plan, requests, settings.serving, settings.schedule
+        )
+    return results

@@ -1,0 +1,173 @@
+"""Synthetic embedding-table populations.
+
+The paper's DRM1/DRM2/DRM3 are production snapshots; we rebuild their
+*statistical shape* instead (Section V-A, Figure 5):
+
+* DRM1/DRM2: long-tailed table-size distributions (lognormal) with a known
+  total capacity and largest-table cap;
+* DRM3: one table dominating >89% of capacity, plus a small remainder;
+* per-table request sparsity (activation probability, ids-per-presence)
+  drawn so that net-level pooling-factor totals match Table II's relative
+  magnitudes (user net >> content net).
+
+All draws come from named substreams of a root seed, so a model zoo entry
+is a pure function of its parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rng import substream
+from repro.core.types import DType
+from repro.models.config import FeatureScope, TableConfig
+
+#: Embedding dimensions sampled for synthesized tables, with weights.
+_DIM_CHOICES = np.array([32, 48, 64, 96, 128])
+_DIM_WEIGHTS = np.array([0.25, 0.2, 0.35, 0.12, 0.08])
+
+
+@dataclass(frozen=True)
+class TablePopulationSpec:
+    """Parameters for one net's synthesized table population.
+
+    Attributes:
+        net: Net name that owns these tables.
+        count: Number of tables.
+        total_bytes: Target aggregate capacity (matched exactly).
+        max_table_bytes: Cap on any single table (paper quotes the largest
+            table per model).
+        scope: USER or ITEM feature scaling.
+        expected_ids_per_request: Target sum over the population of expected
+            ids per request (Table II "estimated pooling factor" / 1000).
+        mean_items: Model's mean request size; converts request-level id
+            targets into per-item rates for ITEM-scoped features.
+        size_sigma: Lognormal sigma of the table-size distribution (tail
+            heaviness of Figure 5).
+        pooling_sigma: Lognormal sigma of per-table pooling weights (drives
+            the load imbalance of capacity-balanced sharding, Table II).
+        activation_range: Range of per-table presence probabilities.
+    """
+
+    net: str
+    count: int
+    total_bytes: float
+    max_table_bytes: float
+    scope: FeatureScope
+    expected_ids_per_request: float
+    mean_items: float
+    size_sigma: float = 1.1
+    pooling_sigma: float = 1.2
+    activation_range: tuple[float, float] = (0.6, 0.95)
+
+
+def synthesize_tables(spec: TablePopulationSpec, seed: int) -> tuple[TableConfig, ...]:
+    """Build one net's table population from its spec."""
+    if spec.max_table_bytes * spec.count < spec.total_bytes:
+        raise ValueError("max_table_bytes cap makes total_bytes infeasible")
+    rng = substream(seed, "tables", spec.net)
+    raw = rng.lognormal(mean=0.0, sigma=spec.size_sigma, size=spec.count)
+    sizes = _normalized_sizes_from(raw, spec.total_bytes, spec.max_table_bytes)
+
+    dims = rng.choice(_DIM_CHOICES, size=spec.count, p=_DIM_WEIGHTS / _DIM_WEIGHTS.sum())
+    activations = rng.uniform(*spec.activation_range, size=spec.count)
+
+    # Per-table pooling weights: heavy-tailed and independent of size, which
+    # is what makes capacity-balanced shards unbalanced in load.
+    weights = rng.lognormal(mean=0.0, sigma=spec.pooling_sigma, size=spec.count)
+    expected_ids = weights * (spec.expected_ids_per_request / weights.sum())
+
+    tables = []
+    for index in range(spec.count):
+        dim = int(dims[index])
+        row_bytes = DType.FP32.row_bytes(dim)
+        num_rows = max(1, int(round(sizes[index] / row_bytes)))
+        per_presence = expected_ids[index] / activations[index]
+        if spec.scope is FeatureScope.ITEM:
+            per_presence /= spec.mean_items
+        tables.append(
+            TableConfig(
+                name=f"{spec.net}_t{index:03d}",
+                net=spec.net,
+                num_rows=num_rows,
+                dim=dim,
+                dtype=DType.FP32,
+                scope=spec.scope,
+                activation_prob=float(activations[index]),
+                mean_ids=float(per_presence),
+            )
+        )
+    return tuple(tables)
+
+
+def _normalized_sizes_from(raw: np.ndarray, total: float, cap: float) -> np.ndarray:
+    """Rescale raw positive draws to ``total`` with per-entry cap."""
+    sizes = raw * (total / raw.sum())
+    for _ in range(64):
+        over = sizes > cap
+        if not over.any():
+            return sizes
+        excess = float((sizes[over] - cap).sum())
+        sizes[over] = cap
+        under = ~over
+        if not under.any():
+            return sizes
+        sizes[under] += excess * sizes[under] / sizes[under].sum()
+    raise RuntimeError("size redistribution failed to converge")
+
+
+def dominant_table_population(
+    net: str,
+    dominant_bytes: float,
+    dominant_dim: int,
+    remainder_count: int,
+    remainder_bytes: float,
+    expected_ids_per_request: float,
+    mean_items: float,
+    seed: int,
+) -> tuple[TableConfig, ...]:
+    """DRM3-style population: one huge single-lookup table plus a tail.
+
+    The dominant table models a user-id-keyed table: always present, exactly
+    one id per request (paper: "the dominating table has a pooling factor of
+    1"), so row-partitioning it across shards parallelizes no work.
+    """
+    row_bytes = DType.FP32.row_bytes(dominant_dim)
+    dominant = TableConfig(
+        name=f"{net}_dominant",
+        net=net,
+        num_rows=max(1, int(round(dominant_bytes / row_bytes))),
+        dim=dominant_dim,
+        scope=FeatureScope.USER,
+        activation_prob=1.0,
+        mean_ids=1.0,
+        deterministic_ids=True,
+    )
+    spec = TablePopulationSpec(
+        net=net,
+        count=remainder_count,
+        total_bytes=remainder_bytes,
+        max_table_bytes=remainder_bytes,  # uncapped within the remainder
+        scope=FeatureScope.USER,
+        expected_ids_per_request=expected_ids_per_request - 1.0,
+        mean_items=mean_items,
+        size_sigma=0.9,
+        pooling_sigma=0.9,
+    )
+    remainder = synthesize_tables(spec, seed)
+    renamed = tuple(
+        TableConfig(
+            name=f"{net}_t{index:03d}",
+            net=net,
+            num_rows=table.num_rows,
+            dim=table.dim,
+            dtype=table.dtype,
+            scope=table.scope,
+            activation_prob=table.activation_prob,
+            mean_ids=table.mean_ids,
+        )
+        for index, table in enumerate(remainder)
+    )
+    return (dominant,) + renamed

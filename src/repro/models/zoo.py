@@ -1,0 +1,204 @@
+"""The DRM1 / DRM2 / DRM3 model zoo (paper Section V-A).
+
+Calibration targets, straight from the paper:
+
+=========  =======  ========  ============  ==========================
+attribute  DRM1     DRM2      DRM3          source
+=========  =======  ========  ============  ==========================
+capacity   194 GiB  138 GiB   200 GiB       Sec. V-A / Table II
+tables     257      133       39            Sec. V-A
+largest    3.6 GB   6.7 GB    178.8 GB      Sec. V-A / Fig. 5
+nets       2        2         1             Sec. V-A
+sparse op  9.7%     9.6%      3.1%          Fig. 4 (share of op time)
+=========  =======  ========  ============  ==========================
+
+DRM1's two nets split 72 tables / 33.58 GiB (user net, ~94% of pooling
+work) versus 185 tables / 160.47 GiB (content net, ~6%) -- the Table II
+NSBP 2-shard row.  DRM2 is architecturally similar with smaller requests;
+DRM3 is a single net dominated by one single-lookup table.
+
+Each factory accepts ``scale`` (proportionally shrinks capacity -- the
+paper itself scaled tables down to fit one 256 GB server) and ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.types import GIB, MIB, OpCategory
+from repro.models.config import (
+    FeatureScope,
+    ModelConfig,
+    NetConfig,
+    RequestProfile,
+)
+from repro.models.synthesis import (
+    TablePopulationSpec,
+    dominant_table_population,
+    synthesize_tables,
+)
+
+#: Operator-category mix of the non-sparse portion, per model (Figure 4).
+#: DRM1/DRM2 are transform-heavy ("more complex structure evidenced by
+#: additional tensor transform costs"); DRM3 is dominated by dense FCs.
+_DRM12_OP_MIX = {
+    OpCategory.DENSE: 0.52,
+    OpCategory.MEMORY_TRANSFORMS: 0.16,
+    OpCategory.FEATURE_TRANSFORMS: 0.14,
+    OpCategory.ACTIVATIONS: 0.08,
+    OpCategory.SCALE_CLIP: 0.05,
+    OpCategory.FILL: 0.03,
+    OpCategory.HASH: 0.02,
+}
+
+_DRM3_OP_MIX = {
+    OpCategory.DENSE: 0.74,
+    OpCategory.MEMORY_TRANSFORMS: 0.07,
+    OpCategory.FEATURE_TRANSFORMS: 0.06,
+    OpCategory.ACTIVATIONS: 0.08,
+    OpCategory.SCALE_CLIP: 0.03,
+    OpCategory.FILL: 0.01,
+    OpCategory.HASH: 0.01,
+}
+
+
+def drm1(scale: float = 1.0, seed: int = 1001) -> ModelConfig:
+    """DRM1: 257 tables, 194 GiB, two nets, the most compute-intensive."""
+    profile = RequestProfile(
+        median_items=220.0,
+        sigma_items=0.85,
+        batch_size=72,
+        dense_feature_bytes=640.0,
+    )
+    user_spec = TablePopulationSpec(
+        net="net1",
+        count=72,
+        total_bytes=scale * 33.58 * GIB,
+        max_table_bytes=scale * 1.9 * GIB,
+        scope=FeatureScope.USER,
+        expected_ids_per_request=126.7,
+        mean_items=profile.mean_items,
+        size_sigma=1.0,
+        pooling_sigma=1.1,
+        activation_range=(0.65, 0.95),
+    )
+    content_spec = TablePopulationSpec(
+        net="net2",
+        count=185,
+        total_bytes=scale * 160.47 * GIB,
+        max_table_bytes=scale * 3.6 * GIB,
+        scope=FeatureScope.ITEM,
+        expected_ids_per_request=8.0,
+        mean_items=profile.mean_items,
+        size_sigma=1.25,
+        pooling_sigma=1.3,
+        activation_range=(0.02, 0.10),
+    )
+    nets = (
+        NetConfig("net1", dense_us_per_item=1.9, dense_us_fixed=95.0, op_mix=_DRM12_OP_MIX),
+        NetConfig("net2", dense_us_per_item=7.8, dense_us_fixed=150.0, op_mix=_DRM12_OP_MIX),
+    )
+    return ModelConfig(
+        name="DRM1",
+        nets=nets,
+        tables=synthesize_tables(user_spec, seed) + synthesize_tables(content_spec, seed),
+        profile=profile,
+        dense_param_bytes=scale * 4.2 * GIB,
+    )
+
+
+def drm2(scale: float = 1.0, seed: int = 2002) -> ModelConfig:
+    """DRM2: 133 tables, 138 GiB, similar to DRM1 with smaller requests."""
+    profile = RequestProfile(
+        median_items=110.0,
+        sigma_items=0.8,
+        batch_size=72,
+        dense_feature_bytes=560.0,
+    )
+    user_spec = TablePopulationSpec(
+        net="net1",
+        count=48,
+        total_bytes=scale * 25.6 * GIB,
+        max_table_bytes=scale * 2.4 * GIB,
+        scope=FeatureScope.USER,
+        expected_ids_per_request=98.0,
+        mean_items=profile.mean_items,
+        size_sigma=1.0,
+        pooling_sigma=1.1,
+        activation_range=(0.65, 0.95),
+    )
+    content_spec = TablePopulationSpec(
+        net="net2",
+        count=85,
+        total_bytes=scale * 112.4 * GIB,
+        max_table_bytes=scale * 6.7 * GIB,
+        scope=FeatureScope.ITEM,
+        expected_ids_per_request=7.0,
+        mean_items=profile.mean_items,
+        size_sigma=1.2,
+        pooling_sigma=1.25,
+        activation_range=(0.03, 0.12),
+    )
+    nets = (
+        NetConfig("net1", dense_us_per_item=1.7, dense_us_fixed=90.0, op_mix=_DRM12_OP_MIX),
+        NetConfig("net2", dense_us_per_item=7.2, dense_us_fixed=140.0, op_mix=_DRM12_OP_MIX),
+    )
+    return ModelConfig(
+        name="DRM2",
+        nets=nets,
+        tables=synthesize_tables(user_spec, seed) + synthesize_tables(content_spec, seed),
+        profile=profile,
+        dense_param_bytes=scale * 3.0 * GIB,
+    )
+
+
+def drm3(scale: float = 1.0, seed: int = 3003) -> ModelConfig:
+    """DRM3: one net, 39 tables, one 178.8 GB single-lookup table.
+
+    Requests are small enough to fit one batch at default batch size
+    (Section VI-F: "its requests are typically small enough for only one
+    batch per request"), and sparse operators are only ~3% of op time.
+    """
+    profile = RequestProfile(
+        median_items=34.0,
+        sigma_items=0.7,
+        batch_size=72,
+        dense_feature_bytes=480.0,
+    )
+    tables = dominant_table_population(
+        net="net1",
+        dominant_bytes=scale * 178.8 * GIB,
+        dominant_dim=64,
+        remainder_count=38,
+        remainder_bytes=scale * 21.2 * GIB,
+        expected_ids_per_request=36.0,
+        mean_items=profile.mean_items,
+        seed=seed,
+    )
+    nets = (
+        NetConfig("net1", dense_us_per_item=11.0, dense_us_fixed=180.0, op_mix=_DRM3_OP_MIX),
+    )
+    return ModelConfig(
+        name="DRM3",
+        nets=nets,
+        tables=tables,
+        profile=profile,
+        dense_param_bytes=scale * 150 * MIB,
+    )
+
+
+#: Registry of model factories, keyed by paper name.
+MODEL_FACTORIES: dict[str, Callable[..., ModelConfig]] = {
+    "DRM1": drm1,
+    "DRM2": drm2,
+    "DRM3": drm3,
+}
+
+
+def build(name: str, scale: float = 1.0) -> ModelConfig:
+    """Build a zoo model by its paper name (``DRM1``/``DRM2``/``DRM3``)."""
+    try:
+        factory = MODEL_FACTORIES[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; choose from {sorted(MODEL_FACTORIES)}")
+    return factory(scale=scale)

@@ -1,0 +1,23 @@
+"""Request substrate: synthetic generation, payload sizing, replay schedules."""
+
+from repro.requests.access_trace import AccessTrace, collect_access_trace
+from repro.requests.generator import (
+    Request,
+    RequestGenerator,
+    SparseFeatureDraw,
+    materialize_numeric,
+    request_payload_bytes,
+)
+from repro.requests.replayer import ReplayMode, ReplaySchedule
+
+__all__ = [
+    "AccessTrace",
+    "ReplayMode",
+    "collect_access_trace",
+    "ReplaySchedule",
+    "Request",
+    "RequestGenerator",
+    "SparseFeatureDraw",
+    "materialize_numeric",
+    "request_payload_bytes",
+]

@@ -1,0 +1,155 @@
+"""Synthetic ranking-request generation.
+
+Substitutes the paper's de-identified production request replay
+(Section V-B): requests were sampled evenly across a five-day window to
+capture diurnal behavior, then replayed against the serving tier.  Here a
+seeded generator draws, per request:
+
+* a timestamp within the sampling window, with a diurnal size modulation;
+* a long-tailed candidate-item count (the batching unit);
+* per-table sparse-feature draws -- presence and id counts -- following
+  each table's :class:`~repro.models.TableConfig` sparsity parameters.
+
+Requests carry *counts* (what the serving simulator and the pooling-factor
+estimator need); :func:`materialize_numeric` expands a request into actual
+raw ids for the numeric correctness path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dlrm import NumericRequest, SparseInput
+from repro.core.rng import substream
+from repro.models.config import FeatureScope, ModelConfig
+
+_DAY_SECONDS = 86_400.0
+
+
+@dataclass(frozen=True)
+class SparseFeatureDraw:
+    """Lookup counts for one table in one request.
+
+    ``per_item_counts`` is None for USER-scoped features (the count applies
+    to the whole request and repeats for every batch); for ITEM-scoped
+    features it holds the id count of each candidate item.
+    """
+
+    table_name: str
+    total_ids: int
+    per_item_counts: np.ndarray | None = None
+
+    def ids_in_slice(self, start: int, stop: int) -> int:
+        """Ids this feature contributes to a batch covering items [start, stop)."""
+        if self.per_item_counts is None:
+            return self.total_ids
+        return int(self.per_item_counts[start:stop].sum())
+
+
+@dataclass
+class Request:
+    """One ranking request at the granularity the simulator consumes."""
+
+    request_id: int
+    timestamp: float
+    num_items: int
+    draws: dict[str, SparseFeatureDraw] = field(default_factory=dict)
+
+    def total_ids_for_net(self, model: ModelConfig, net_name: str) -> int:
+        return sum(
+            draw.total_ids
+            for draw in self.draws.values()
+            if model.table(draw.table_name).net == net_name
+        )
+
+    @property
+    def total_ids(self) -> int:
+        return sum(draw.total_ids for draw in self.draws.values())
+
+
+class RequestGenerator:
+    """Seeded request sampler for one model."""
+
+    def __init__(self, model: ModelConfig, seed: int = 0, diurnal_amplitude: float = 0.15):
+        self.model = model
+        self.seed = seed
+        self.diurnal_amplitude = diurnal_amplitude
+        self._rng = substream(seed, "requests", model.name)
+
+    def _diurnal_factor(self, timestamp: float) -> float:
+        phase = 2.0 * np.pi * (timestamp % _DAY_SECONDS) / _DAY_SECONDS
+        return 1.0 + self.diurnal_amplitude * float(np.sin(phase))
+
+    def generate(self, request_id: int, timestamp: float = 0.0) -> Request:
+        rng = self._rng
+        profile = self.model.profile
+        base_items = profile.sample_items(rng)
+        num_items = max(
+            profile.min_items, int(round(base_items * self._diurnal_factor(timestamp)))
+        )
+
+        draws: dict[str, SparseFeatureDraw] = {}
+        for table in self.model.tables:
+            if table.scope is FeatureScope.USER:
+                if rng.random() >= table.activation_prob:
+                    continue
+                if table.deterministic_ids:
+                    count = max(1, int(round(table.mean_ids)))
+                else:
+                    count = int(rng.poisson(table.mean_ids))
+                if count == 0:
+                    continue
+                draws[table.name] = SparseFeatureDraw(table.name, count)
+            else:
+                rate = table.activation_prob * table.mean_ids
+                per_item = rng.poisson(rate, size=num_items).astype(np.int32)
+                total = int(per_item.sum())
+                if total == 0:
+                    continue
+                draws[table.name] = SparseFeatureDraw(table.name, total, per_item)
+        return Request(request_id, timestamp, num_items, draws)
+
+    def generate_many(self, count: int, window_days: float = 5.0) -> list[Request]:
+        """Sample ``count`` requests evenly across the sampling window."""
+        timestamps = np.linspace(0.0, window_days * _DAY_SECONDS, count, endpoint=False)
+        return [self.generate(i, float(t)) for i, t in enumerate(timestamps)]
+
+
+def request_payload_bytes(model: ModelConfig, request: Request) -> float:
+    """Serialized size of the inbound ranking request.
+
+    Dense features per item plus 8-byte sparse ids plus per-feature framing.
+    """
+    ids_bytes = 8.0 * request.total_ids
+    framing = 24.0 * len(request.draws)
+    dense = model.profile.dense_feature_bytes * request.num_items
+    return 256.0 + dense + ids_bytes + framing
+
+
+def materialize_numeric(
+    model: ModelConfig, request: Request, seed: int = 0, id_space: int = 2**48
+) -> NumericRequest:
+    """Expand a count-level request into raw ids and dense features."""
+    rng = substream(seed, "numeric", model.name, request.request_id)
+    user_dense = rng.normal(0, 1, size=16).astype(np.float32)
+    item_dense = rng.normal(0, 1, size=(request.num_items, 16)).astype(np.float32)
+    sparse: dict[str, SparseInput] = {}
+    for table in model.tables:
+        draw = request.draws.get(table.name)
+        if draw is None:
+            continue
+        values = rng.integers(0, id_space, size=draw.total_ids, dtype=np.int64)
+        if table.scope is FeatureScope.USER:
+            lengths = np.array([draw.total_ids], dtype=np.int64)
+        else:
+            lengths = draw.per_item_counts.astype(np.int64)
+        sparse[table.name] = SparseInput(values, lengths)
+    return NumericRequest(
+        request_id=request.request_id,
+        num_items=request.num_items,
+        user_dense=user_dense,
+        item_dense=item_dense,
+        sparse=sparse,
+    )

@@ -1,0 +1,36 @@
+"""Serving substrate: simulated servers, services, replay, replication."""
+
+from repro.serving.replication import (
+    ReplicationDemand,
+    ReplicationPlan,
+    memory_efficiency_vs_singular,
+    plan_replication,
+)
+from repro.serving.paging import (
+    PagingAssessment,
+    SsdSpec,
+    assess_paging,
+    coverage_for_budget,
+    paging_vs_distributed_stall,
+)
+from repro.serving.simulator import ClusterSimulation, ServingConfig, SimServer
+from repro.serving.sla import SlaPolicy, SlaReport, evaluate_sla, sla_sweep
+
+__all__ = [
+    "ClusterSimulation",
+    "PagingAssessment",
+    "SsdSpec",
+    "assess_paging",
+    "coverage_for_budget",
+    "paging_vs_distributed_stall",
+    "ReplicationDemand",
+    "ReplicationPlan",
+    "ServingConfig",
+    "SimServer",
+    "SlaPolicy",
+    "SlaReport",
+    "evaluate_sla",
+    "memory_efficiency_vs_singular",
+    "plan_replication",
+    "sla_sweep",
+]

@@ -1,0 +1,565 @@
+"""Discrete-event simulation of the distributed inference serving stack.
+
+Faithfully models the serving pipeline of paper Section III on top of the
+DES kernel:
+
+* every shard (main + sparse) is a **server** with a Thrift-like service:
+  a worker-thread pool (cores resource), an egress NIC serialized at link
+  bandwidth, and a skewed wall clock;
+* a ranking request arrives at the main shard, is deserialized, split into
+  **batches** (Section VI-F), and each batch executes the model's nets
+  sequentially: bottom dense ops, then the sparse portion -- local SLS in
+  the singular configuration, or asynchronous RPC fan-out to the sparse
+  shards of the plan -- then interaction/top dense ops;
+* each RPC pays serialization, network (propagation + wire + jitter),
+  shard-side service/framework/operator time, and response handling; RPCs
+  with no active lookups are skipped entirely, which is why DRM3 touches
+  only two shards per request regardless of shard count (Section VI-E1);
+* the cross-layer tracer records a span for every instrumented interval,
+  exactly like the paper's instrumentation hooks.
+
+The simulator consumes *count-level* requests (no real ids): all costs are
+functions of id counts, table metadata, and bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.rng import substream
+from repro.core.types import OpCategory
+from repro.models.config import FeatureScope, ModelConfig, TableConfig
+from repro.requests.generator import Request, request_payload_bytes
+from repro.requests.replayer import ReplayMode, ReplaySchedule
+from repro.sharding.plan import ShardingPlan, ShardSpec
+from repro.simulation.costmodel import (
+    CostModel,
+    ranking_response_bytes,
+    rpc_request_bytes,
+    rpc_response_bytes,
+)
+from repro.simulation.engine import Engine, Event
+from repro.simulation.network import Fabric, FabricSpec
+from repro.simulation.platform import SC_LARGE, Platform
+from repro.tracing.span import MAIN_SHARD, Layer, Span, Tracer
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Cluster-level configuration for one simulated experiment."""
+
+    main_platform: Platform = SC_LARGE
+    sparse_platform: Platform = SC_LARGE
+    cost_model: CostModel = field(default_factory=CostModel)
+    fabric_spec: FabricSpec = field(default_factory=FabricSpec)
+    seed: int = 0
+    service_workers: int = 32
+    """Worker threads of one serving instance (a service instance does not
+    own the whole machine); batches queue for these workers, which is what
+    couples request size to tail latency."""
+
+    batch_size: int | None = None
+    """Overrides the model's default batch size; None keeps the default.
+    ``with_batch_size(10**9)`` reproduces the paper's one-batch-per-request
+    mode (Section VI-F)."""
+
+    max_batches: int = 8
+    """Production batching cap: huge requests grow their batch size rather
+    than fan out unboundedly, so tail-sized requests are dense-dominated
+    (the paper's explanation for P99 overheads being more favorable than
+    P50, Section VI-B4)."""
+
+    clock_skew_sigma: float = 0.0
+    """Stddev (seconds) of per-server wall-clock skew; trace timestamps are
+    stamped with it, and attribution must stay skew-invariant."""
+
+    def with_batch_size(self, batch_size: int | None) -> "ServingConfig":
+        return ServingConfig(
+            main_platform=self.main_platform,
+            sparse_platform=self.sparse_platform,
+            cost_model=self.cost_model,
+            fabric_spec=self.fabric_spec,
+            seed=self.seed,
+            service_workers=self.service_workers,
+            batch_size=batch_size,
+            max_batches=self.max_batches,
+            clock_skew_sigma=self.clock_skew_sigma,
+        )
+
+
+class SimServer:
+    """One server: worker pool, egress link, skewed wall clock."""
+
+    def __init__(
+        self,
+        name: str,
+        platform: Platform,
+        engine: Engine,
+        workers: int,
+        clock_skew: float = 0.0,
+        io_threads: int = 4,
+    ):
+        self.name = name
+        self.platform = platform
+        self.engine = engine
+        self.workers = engine.resource(min(workers, platform.cores))
+        self.io_threads = engine.resource(io_threads)
+        self.clock_skew = clock_skew
+        self._egress_free = 0.0
+
+    def wall(self, engine_time: float | None = None) -> float:
+        """This server's wall clock (engine time + skew)."""
+        at = self.engine.now if engine_time is None else engine_time
+        return at + self.clock_skew
+
+    def egress_delay(self, nbytes: float) -> float:
+        """Reserve the egress NIC for a message; returns total delay until
+        the last byte leaves (queueing behind in-flight messages + wire)."""
+        wire = nbytes / self.platform.nic_bandwidth
+        start = max(self.engine.now, self._egress_free)
+        self._egress_free = start + wire
+        return (start - self.engine.now) + wire
+
+
+@dataclass(frozen=True)
+class _Batch:
+    index: int
+    start_item: int
+    stop_item: int
+
+    @property
+    def items(self) -> int:
+        return self.stop_item - self.start_item
+
+
+@dataclass
+class _ShardLookups:
+    """Active lookups routed to one shard for one (batch, net) RPC."""
+
+    shard: ShardSpec
+    lookups: list[tuple[TableConfig, int]] = field(default_factory=list)
+    segments: int = 1
+
+    @property
+    def active(self) -> bool:
+        return bool(self.lookups)
+
+
+class ClusterSimulation:
+    """Simulates one (model, plan, serving-config) deployment."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        plan: ShardingPlan,
+        config: ServingConfig | None = None,
+        tracer: Tracer | None = None,
+    ):
+        plan.validate(model)
+        self.model = model
+        self.plan = plan
+        self.config = config or ServingConfig()
+        self.tracer = tracer or Tracer()
+        self.engine = Engine()
+        self._rpc_ids = itertools.count()
+        self._rng = substream(self.config.seed, "cluster", model.name, plan.label)
+        skew_rng = substream(self.config.seed, "clock-skew", model.name, plan.label)
+
+        def skew() -> float:
+            if self.config.clock_skew_sigma == 0.0:
+                return 0.0
+            return float(skew_rng.normal(0.0, self.config.clock_skew_sigma))
+
+        self.fabric = Fabric(self.config.fabric_spec, seed=self.config.seed)
+        io_threads = self.config.cost_model.io_threads
+        self.main = SimServer(
+            "main", self.config.main_platform, self.engine,
+            self.config.service_workers, skew(), io_threads,
+        )
+        self.sparse_servers = [
+            SimServer(
+                f"sparse-{shard.index}", self.config.sparse_platform, self.engine,
+                self.config.service_workers, skew(), io_threads,
+            )
+            for shard in plan.shards
+        ]
+        self.completed: dict[int, float] = {}
+        self.on_complete: Callable[[int], None] | None = None
+
+    # -- span helper -------------------------------------------------------
+    def _span(
+        self,
+        request: Request,
+        shard: int,
+        server: SimServer,
+        layer: Layer,
+        name: str,
+        start: float,
+        end: float,
+        cpu: float = 0.0,
+        **extra,
+    ) -> None:
+        self.tracer.record(
+            Span(
+                request_id=request.request_id,
+                shard=shard,
+                server=server.name,
+                layer=layer,
+                name=name,
+                start=server.wall(start),
+                end=server.wall(end),
+                cpu_time=cpu,
+                **extra,
+            )
+        )
+
+    # -- batching ------------------------------------------------------------
+    def _batches(self, request: Request) -> list[_Batch]:
+        size = self.config.batch_size or self.model.profile.batch_size
+        count = min(-(-request.num_items // size), self.config.max_batches)
+        edges = [
+            round(index * request.num_items / count) for index in range(count)
+        ] + [request.num_items]
+        return [
+            _Batch(i, edges[i], edges[i + 1]) for i in range(count)
+        ]
+
+    # -- lookup routing --------------------------------------------------------
+    def _partition_split(self, request: Request, table: TableConfig, count: int, parts: int) -> np.ndarray:
+        """Split a row-partitioned table's ids across partitions (id % P)."""
+        rng = substream(
+            self.config.seed, "part-split", request.request_id, table.name, parts
+        )
+        return rng.multinomial(count, [1.0 / parts] * parts)
+
+    def _lookups_for_batch(
+        self, request: Request, batch: _Batch, net_name: str
+    ) -> list[tuple[TableConfig, int]]:
+        """(table, ids) pairs a batch performs for one net (singular view)."""
+        lookups = []
+        for table in self.model.tables_for_net(net_name):
+            draw = request.draws.get(table.name)
+            if draw is None:
+                continue
+            count = draw.ids_in_slice(batch.start_item, batch.stop_item)
+            if count > 0:
+                lookups.append((table, count))
+        return lookups
+
+    def _rpc_targets(
+        self, request: Request, batch: _Batch, net_name: str
+    ) -> list[_ShardLookups]:
+        """Active per-shard lookup sets for one (batch, net) RPC fan-out."""
+        targets = []
+        for shard in self.plan.shards_for_net(self.model, net_name):
+            entry = _ShardLookups(shard=shard)
+            for assignment in shard.assignments:
+                table = self.model.table(assignment.table_name)
+                if table.net != net_name:
+                    continue
+                draw = request.draws.get(table.name)
+                if draw is None:
+                    continue
+                count = draw.ids_in_slice(batch.start_item, batch.stop_item)
+                if count == 0:
+                    continue
+                if assignment.num_parts > 1:
+                    split = self._partition_split(
+                        request, table, count, assignment.num_parts
+                    )
+                    count = int(split[assignment.part_index])
+                    if count == 0:
+                        continue
+                entry.lookups.append((table, count))
+                entry.segments = max(
+                    entry.segments,
+                    batch.items if table.scope is FeatureScope.ITEM else 1,
+                )
+            targets.append(entry)
+        return targets
+
+    # -- request lifecycle -------------------------------------------------------
+    def submit(self, request: Request) -> Event:
+        """Inject one request now; returns its completion event."""
+        return self.engine.process(self._serve_request(request))
+
+    def _serve_request(self, request: Request):
+        engine, cm, main = self.engine, self.config.cost_model, self.main
+        t_start = engine.now
+
+        yield main.workers.acquire()
+        t0 = engine.now
+        deser = cm.serde_time(
+            request_payload_bytes(self.model, request),
+            main.platform,
+            tables=len(request.draws),
+        )
+        yield engine.timeout(deser)
+        self._span(
+            request, MAIN_SHARD, main, Layer.SERDE, "request_deser",
+            t0, engine.now, cpu=deser,
+        )
+        t0 = engine.now
+        yield engine.timeout(cm.request_handler_fixed)
+        handler_cpu = cm.request_handler_fixed
+        main.workers.release()
+
+        batches = self._batches(request)
+        batch_events = [
+            engine.process(self._run_batch(request, batch)) for batch in batches
+        ]
+        yield engine.all_of(batch_events)
+
+        yield main.workers.acquire()
+        t0 = engine.now
+        ser = cm.serde_time(ranking_response_bytes(request.num_items), main.platform)
+        yield engine.timeout(ser)
+        self._span(
+            request, MAIN_SHARD, main, Layer.SERDE, "response_ser",
+            t0, engine.now, cpu=ser,
+        )
+        yield engine.timeout(cm.response_handler_fixed)
+        handler_cpu += cm.response_handler_fixed
+        main.workers.release()
+
+        self._span(
+            request, MAIN_SHARD, main, Layer.SERVICE, "request_e2e",
+            t_start, engine.now, cpu=handler_cpu,
+        )
+        self.completed[request.request_id] = engine.now - t_start
+        if self.on_complete is not None:
+            self.on_complete(request.request_id)
+
+    def _run_batch(self, request: Request, batch: _Batch):
+        engine, cm, main = self.engine, self.config.cost_model, self.main
+        t_batch = engine.now
+        yield main.workers.acquire()
+        for net_cfg in self.model.nets:
+            net_tables = self.model.tables_for_net(net_cfg.name)
+            rpc_targets = (
+                [] if self.plan.is_singular
+                else self._rpc_targets(request, batch, net_cfg.name)
+            )
+            active_rpcs = [t for t in rpc_targets if t.active]
+            num_ops = len(net_tables) + 12 + len(active_rpcs)
+
+            t0 = engine.now
+            overhead = cm.net_overhead(num_ops)
+            if not self.plan.is_singular:
+                active_names = {
+                    table.name for t in active_rpcs for table, _ in t.lookups
+                }
+                overhead += cm.fill_per_table * (len(net_tables) - len(active_names))
+            yield engine.timeout(overhead)
+            self._span(
+                request, MAIN_SHARD, main, Layer.NET_OVERHEAD, "net_sched",
+                t0, engine.now, cpu=overhead, net=net_cfg.name, batch=batch.index,
+            )
+
+            dense_total = cm.dense_time(net_cfg, batch.items, main.platform)
+            t0 = engine.now
+            pre = dense_total * cm.dense_pre_fraction
+            yield engine.timeout(pre)
+            self._span(
+                request, MAIN_SHARD, main, Layer.OPERATOR, "dense_pre",
+                t0, engine.now, cpu=pre,
+                category=OpCategory.DENSE, net=net_cfg.name, batch=batch.index,
+            )
+
+            if self.plan.is_singular:
+                yield from self._local_sparse(request, batch, net_cfg.name)
+            else:
+                yield from self._remote_sparse(request, batch, net_cfg.name, active_rpcs)
+
+            t0 = engine.now
+            post = dense_total - pre
+            yield engine.timeout(post)
+            self._span(
+                request, MAIN_SHARD, main, Layer.OPERATOR, "dense_post",
+                t0, engine.now, cpu=post,
+                category=OpCategory.DENSE, net=net_cfg.name, batch=batch.index,
+            )
+        main.workers.release()
+        self._span(
+            request, MAIN_SHARD, main, Layer.BATCH, f"batch_{batch.index}",
+            t_batch, engine.now, batch=batch.index,
+        )
+
+    def _local_sparse(self, request: Request, batch: _Batch, net_name: str):
+        """Singular configuration: SLS ops execute inline on the main shard."""
+        engine, cm, main = self.engine, self.config.cost_model, self.main
+        lookups = self._lookups_for_batch(request, batch, net_name)
+        dispatched = len(self.model.tables_for_net(net_name))
+        work = cm.sls_time(lookups, main.platform, dispatched_tables=dispatched)
+        t0 = engine.now
+        yield engine.timeout(work)
+        self._span(
+            request, MAIN_SHARD, main, Layer.OPERATOR, "sls_local",
+            t0, engine.now, cpu=work,
+            category=OpCategory.SPARSE, net=net_name, batch=batch.index,
+        )
+        self._span(
+            request, MAIN_SHARD, main, Layer.EMBEDDED, "embedded",
+            t0, engine.now, net=net_name, batch=batch.index,
+        )
+
+    def _remote_sparse(
+        self,
+        request: Request,
+        batch: _Batch,
+        net_name: str,
+        targets: list[_ShardLookups],
+    ):
+        """Distributed: serialize + issue async RPCs, wait, deserialize."""
+        engine, cm, main = self.engine, self.config.cost_model, self.main
+        t_embedded = engine.now
+        responses = []
+        for target in targets:
+            req_bytes = rpc_request_bytes(target.lookups, target.segments)
+            t0 = engine.now
+            ser = cm.serde_time(
+                req_bytes, main.platform, tables=len(target.lookups), client_side=True
+            )
+            yield engine.timeout(ser + cm.rpc_dispatch_fixed)
+            self._span(
+                request, MAIN_SHARD, main, Layer.SERDE, "rpc_request_ser",
+                t0, engine.now, cpu=ser + cm.rpc_dispatch_fixed,
+                net=net_name, batch=batch.index,
+            )
+            resp_bytes = rpc_response_bytes(
+                [table for table, _ in target.lookups], batch.items
+            )
+            responses.append(
+                engine.process(
+                    self._rpc(request, batch, net_name, target, req_bytes, resp_bytes)
+                )
+            )
+        if not responses:
+            # Every candidate shard was inactive for this batch; the RPC ops
+            # short-circuit and downstream layers read zero-filled blobs.
+            return
+        main.workers.release()
+        yield engine.all_of(responses)
+        yield main.workers.acquire()
+        self._span(
+            request, MAIN_SHARD, main, Layer.EMBEDDED, "embedded",
+            t_embedded, engine.now, net=net_name, batch=batch.index,
+        )
+
+    def _rpc(
+        self,
+        request: Request,
+        batch: _Batch,
+        net_name: str,
+        target: _ShardLookups,
+        req_bytes: float,
+        resp_bytes: float,
+    ):
+        """One remote call: network out, shard service, network back."""
+        engine, cm = self.engine, self.config.cost_model
+        main = self.main
+        server = self.sparse_servers[target.shard.index]
+        rpc_id = next(self._rpc_ids)
+        t_client = engine.now
+
+        out_delay = main.egress_delay(req_bytes) + self.fabric.one_way_delay(
+            main.platform, server.platform, 0.0
+        )
+        yield engine.timeout(out_delay)
+
+        t_service = engine.now
+        yield server.workers.acquire()
+        t0 = engine.now
+        deser = cm.serde_time(req_bytes, server.platform, tables=len(target.lookups))
+        yield engine.timeout(deser)
+        self._span(
+            request, target.shard.index, server, Layer.SERDE, "rpc_deser",
+            t0, engine.now, cpu=deser, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        )
+        yield engine.timeout(cm.rpc_service_fixed)
+
+        t0 = engine.now
+        overhead = cm.net_overhead(len(target.lookups) + 2)
+        yield engine.timeout(overhead)
+        self._span(
+            request, target.shard.index, server, Layer.NET_OVERHEAD, "net_sched",
+            t0, engine.now, cpu=overhead, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        )
+
+        t0 = engine.now
+        work = cm.sls_time(target.lookups, server.platform)
+        yield engine.timeout(work)
+        self._span(
+            request, target.shard.index, server, Layer.OPERATOR, "sls_remote",
+            t0, engine.now, cpu=work,
+            category=OpCategory.SPARSE, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        )
+
+        t0 = engine.now
+        ser = cm.serde_time(resp_bytes, server.platform, tables=len(target.lookups))
+        yield engine.timeout(ser)
+        self._span(
+            request, target.shard.index, server, Layer.SERDE, "rpc_resp_ser",
+            t0, engine.now, cpu=ser, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        )
+        server.workers.release()
+        self._span(
+            request, target.shard.index, server, Layer.SERVICE, "rpc_e2e",
+            t_service, engine.now, cpu=cm.rpc_service_fixed,
+            net=net_name, batch=batch.index, rpc_id=rpc_id,
+        )
+
+        back_delay = server.egress_delay(resp_bytes) + self.fabric.one_way_delay(
+            server.platform, main.platform, 0.0
+        )
+        yield engine.timeout(back_delay)
+        self._span(
+            request, MAIN_SHARD, main, Layer.RPC_CLIENT, "rpc_outstanding",
+            t_client, engine.now,
+            net=net_name, batch=batch.index, rpc_id=rpc_id,
+        )
+        # Response tensors deserialize on the client's IO threads, off the
+        # request workers, overlapping the waits for slower RPCs.
+        yield main.io_threads.acquire()
+        t0 = engine.now
+        deser = cm.serde_time(
+            resp_bytes, main.platform, tables=len(target.lookups), client_side=True
+        )
+        yield engine.timeout(deser)
+        self._span(
+            request, MAIN_SHARD, main, Layer.SERDE, "rpc_response_deser",
+            t0, engine.now, cpu=deser, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        )
+        main.io_threads.release()
+
+    # -- replay drivers ---------------------------------------------------------
+    def run_serial(self, requests: Iterable[Request]) -> None:
+        """Serial blocking replay: next request sent after the previous
+        response returns (paper Section VI)."""
+
+        def driver():
+            for request in requests:
+                yield self.submit(request)
+
+        self.engine.process(driver())
+        self.engine.run()
+
+    def run_open_loop(self, requests: list[Request], schedule: ReplaySchedule) -> None:
+        """Open-loop replay at the schedule's QPS (paper Section VII-A)."""
+        if schedule.mode is not ReplayMode.OPEN_LOOP:
+            raise ValueError("use run_serial for serial schedules")
+        arrivals = schedule.arrival_times(len(requests))
+
+        def driver():
+            previous = 0.0
+            for request, at in zip(requests, arrivals):
+                yield self.engine.timeout(at - previous)
+                previous = at
+                self.submit(request)
+
+        self.engine.process(driver())
+        self.engine.run()

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate: kernel, platforms, network, costs."""
+
+from repro.simulation.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Process,
+    Resource,
+    SimulationError,
+    Timeout,
+)
+from repro.simulation.network import Fabric, FabricSpec
+from repro.simulation.platform import PLATFORMS, SC_LARGE, SC_SMALL, Platform
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Fabric",
+    "FabricSpec",
+    "PLATFORMS",
+    "Platform",
+    "Process",
+    "Resource",
+    "SC_LARGE",
+    "SC_SMALL",
+    "SimulationError",
+    "Timeout",
+]

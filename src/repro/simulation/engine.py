@@ -1,0 +1,260 @@
+"""A minimal discrete-event simulation kernel.
+
+The serving substrate (Section III of the paper) is modeled as a set of
+cooperating *processes* -- Python generators that ``yield`` events such as
+timeouts, resource acquisitions, or other processes.  The kernel is a small
+subset of the SimPy programming model, implemented here so the repository is
+self-contained:
+
+* :class:`Engine` owns the event heap and the simulation clock.
+* :class:`Event` is a one-shot promise; callbacks run when it triggers.
+* :class:`Process` drives a generator, resuming it whenever the event it
+  yielded triggers, and is itself an event that triggers on completion.
+* :class:`Resource` models a counted resource (e.g. a server's core pool)
+  with FIFO queuing.
+
+Determinism: events scheduled for the same timestamp are processed in
+insertion order (a monotonic sequence number breaks ties), so repeated runs
+with the same seeds produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """A one-shot occurrence with an optional value.
+
+    Events start *pending*; :meth:`succeed` schedules them to *trigger* at
+    the current simulation time, after which their callbacks fire exactly
+    once, in registration order.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_triggered", "_scheduled")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to trigger now, carrying ``value``."""
+        if self._scheduled:
+            raise SimulationError("event succeeded twice")
+        self._value = value
+        self._scheduled = True
+        self.engine._schedule(0.0, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _trigger(self) -> None:
+        self._triggered = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self._value = value
+        self._scheduled = True
+        engine._schedule(delay, self)
+
+
+class Process(Event):
+    """Drives a generator; triggers with the generator's return value."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator):
+        super().__init__(engine)
+        self._generator = generator
+        # Kick off at the current time (not synchronously) so that process
+        # creation order does not leak into execution order mid-callback.
+        start = Event(engine)
+        start.add_callback(self._resume)
+        start.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self._scheduled = True
+            self.engine._schedule(0.0, self)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}; processes must yield Events"
+            )
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered.
+
+    The value is the list of child values, in the order given.
+    """
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child._value for child in self._children])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers; value is (index, value)."""
+
+    __slots__ = ("_done",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._done = False
+        children = list(events)
+        if not children:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, child in enumerate(children):
+            child.add_callback(lambda event, index=index: self._on_child(index, event))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if not self._done:
+            self._done = True
+            self.succeed((index, event._value))
+
+
+class Resource:
+    """A counted resource with FIFO queueing (e.g. a pool of CPU cores)."""
+
+    __slots__ = ("engine", "capacity", "_in_use", "_queue")
+
+    def __init__(self, engine: "Engine", capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once a unit is held by the caller."""
+        event = Event(self.engine)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use == 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._queue:
+            # Hand the unit directly to the next waiter; _in_use is unchanged.
+            self._queue.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Engine:
+    """Event loop: a heap of ``(time, sequence, event)`` entries."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._sequence = 0
+        self._heap: list[tuple[float, int, Event]] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+
+    # -- factory helpers ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def resource(self, capacity: int) -> Resource:
+        return Resource(self, capacity)
+
+    # -- execution -------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains (or ``until`` is reached).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            at, _, event = self._heap[0]
+            if until is not None and at > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = at
+            event._trigger()
+        return self._now

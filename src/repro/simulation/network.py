@@ -1,0 +1,63 @@
+"""Data-center network fabric model.
+
+All inter-shard communication in the paper travels over the standard TCP/IP
+stack on the data-center intranet (Section III-C), and the measured
+"network latency" bucket includes in-kernel packet processing and
+forwarding time (Section VI-B2).  The fabric model therefore charges each
+message:
+
+``delay = propagation + kernel + size / min(src_nic, dst_nic) + jitter``
+
+where jitter is lognormal -- long-tailed, as observed in production
+fabrics -- and is drawn from a per-fabric seeded stream so experiment runs
+are reproducible.  Per-server clock skew is modeled separately (servers
+stamp trace points with skewed wall clocks; see :mod:`repro.tracing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.rng import substream
+from repro.core.types import US
+from repro.simulation.platform import Platform
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Tunable parameters of the fabric latency distribution."""
+
+    propagation: float = 15 * US
+    """One-way propagation + switching delay between racks."""
+
+    kernel_overhead: float = 8 * US
+    """In-kernel packet processing at the two endpoints (combined)."""
+
+    jitter_median: float = 6 * US
+    """Median of the lognormal jitter term."""
+
+    jitter_sigma: float = 0.55
+    """Log-scale sigma of the jitter term (controls the tail)."""
+
+
+class Fabric:
+    """Samples one-way message delays between servers."""
+
+    def __init__(self, spec: FabricSpec | None = None, seed: int = 0):
+        self.spec = spec or FabricSpec()
+        self._rng = substream(seed, "fabric")
+
+    def one_way_delay(self, src: Platform, dst: Platform, nbytes: float) -> float:
+        """Sample the one-way delay for an ``nbytes`` message src -> dst."""
+        spec = self.spec
+        wire = nbytes / min(src.nic_bandwidth, dst.nic_bandwidth)
+        jitter = spec.jitter_median * float(
+            np.exp(self._rng.normal(0.0, spec.jitter_sigma))
+        )
+        return spec.propagation + spec.kernel_overhead + wire + jitter
+
+    def expected_floor(self) -> float:
+        """Deterministic lower bound of a zero-byte message delay."""
+        return self.spec.propagation + self.spec.kernel_overhead

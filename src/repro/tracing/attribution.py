@@ -1,0 +1,200 @@
+"""Cross-layer attribution of latency and CPU time (paper Section IV-B).
+
+Turns one request's spans into the three breakdowns the paper reports:
+
+* **E2E latency stack** (Figure 8a): Dense Ops / Embedded Portion /
+  RPC Ser-De / RPC Service Function / Caffe2 Net Overhead, measured at the
+  main shard.  Batches execute in parallel, so attribution follows the
+  *bounding batch* (the longest one), plus request-level serde/handler
+  work; residual time (queueing, handler fixed costs) lands in the
+  service-function bucket, matching the paper's definition ("any other
+  time strictly not spent in a Caffe2 net or serialization").
+* **Embedded-portion stack** (Figure 8b): for the *slowest outstanding
+  RPC* of the request, Network Latency is derived as
+  ``outstanding_at_main - sparse_shard_e2e`` -- a difference of two
+  same-server durations, so per-server clock skew cancels exactly
+  (Section IV-B).
+* **CPU-time stack** (Figure 9): aggregate core time across all shards in
+  Caffe2 Ops / RPC Ser-De / service-overhead buckets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.types import OpCategory
+from repro.tracing.span import MAIN_SHARD, Layer, Span
+
+# Bucket names match the paper's figure legends.
+DENSE_OPS = "Dense Ops"
+EMBEDDED_PORTION = "Embedded Portion"
+RPC_SERDE = "RPC Ser/De"
+RPC_SERVICE = "RPC Service Function"
+NET_OVERHEAD = "Caffe2 Net Overhead"
+SPARSE_OPS = "Caffe2 Sparse Ops"
+NETWORK_LATENCY = "Network Latency"
+CPU_OPS = "Caffe2 Ops"
+CPU_SERVICE = "FbThrift/Caffe2 Service Overhead"
+
+E2E_BUCKETS = (DENSE_OPS, EMBEDDED_PORTION, RPC_SERDE, RPC_SERVICE, NET_OVERHEAD)
+EMBEDDED_BUCKETS = (SPARSE_OPS, RPC_SERDE, RPC_SERVICE, NET_OVERHEAD, NETWORK_LATENCY)
+CPU_BUCKETS = (CPU_OPS, RPC_SERDE, CPU_SERVICE)
+
+
+class AttributionError(ValueError):
+    """Raised when a request's spans are structurally incomplete."""
+
+
+@dataclass
+class RequestAttribution:
+    """Fully attributed measurements for one request."""
+
+    request_id: int
+    e2e: float
+    num_batches: int
+    rpcs: int
+    cpu_total: float
+    cpu_stack: dict[str, float]
+    latency_stack: dict[str, float]
+    embedded_stack: dict[str, float]
+    sparse_op_cpu: float = 0.0
+    dense_op_cpu: float = 0.0
+    per_shard_cpu: dict[int, float] = field(default_factory=dict)
+    """Core-seconds by shard (MAIN_SHARD = -1 for the main shard)."""
+    per_shard_op_time: dict[int, float] = field(default_factory=dict)
+    per_shard_net_op_time: dict[tuple[int, str], float] = field(default_factory=dict)
+
+    @property
+    def embedded_total(self) -> float:
+        return sum(self.embedded_stack.values())
+
+
+def attribute_request(spans: list[Span]) -> RequestAttribution:
+    """Post-process one request's trace into the paper's breakdowns."""
+    if not spans:
+        raise AttributionError("no spans for request")
+    request_id = spans[0].request_id
+
+    service = _single(spans, Layer.SERVICE, shard=MAIN_SHARD)
+    e2e = service.duration
+
+    batches = [s for s in spans if s.layer is Layer.BATCH]
+    if not batches:
+        raise AttributionError(f"request {request_id}: no batch spans")
+    bounding = max(batches, key=lambda s: s.duration)
+
+    latency_stack = _e2e_stack(spans, bounding.batch, e2e)
+    embedded_stack = _embedded_stack(spans, bounding.batch)
+    cpu_stack = _cpu_stack(spans)
+
+    per_shard: dict[int, float] = defaultdict(float)
+    per_shard_net: dict[tuple[int, str], float] = defaultdict(float)
+    per_shard_cpu: dict[int, float] = defaultdict(float)
+    sparse_op_cpu = dense_op_cpu = 0.0
+    for span in spans:
+        per_shard_cpu[span.shard] += span.cpu_time
+        if span.layer is not Layer.OPERATOR:
+            continue
+        if span.category is OpCategory.SPARSE:
+            sparse_op_cpu += span.cpu_time
+        else:
+            dense_op_cpu += span.cpu_time
+        if span.shard != MAIN_SHARD:
+            per_shard[span.shard] += span.duration
+            per_shard_net[(span.shard, span.net)] += span.duration
+
+    return RequestAttribution(
+        request_id=request_id,
+        e2e=e2e,
+        num_batches=len(batches),
+        rpcs=sum(1 for s in spans if s.layer is Layer.RPC_CLIENT),
+        cpu_total=sum(cpu_stack.values()),
+        cpu_stack=cpu_stack,
+        latency_stack=latency_stack,
+        embedded_stack=embedded_stack,
+        sparse_op_cpu=sparse_op_cpu,
+        dense_op_cpu=dense_op_cpu,
+        per_shard_cpu=dict(per_shard_cpu),
+        per_shard_op_time=dict(per_shard),
+        per_shard_net_op_time=dict(per_shard_net),
+    )
+
+
+def _single(spans: list[Span], layer: Layer, shard: int) -> Span:
+    matches = [s for s in spans if s.layer is layer and s.shard == shard]
+    if len(matches) != 1:
+        raise AttributionError(
+            f"expected exactly one {layer.value} span on shard {shard}, "
+            f"found {len(matches)}"
+        )
+    return matches[0]
+
+
+def _e2e_stack(spans: list[Span], bounding_batch: int, e2e: float) -> dict[str, float]:
+    stack = {bucket: 0.0 for bucket in E2E_BUCKETS}
+    for span in spans:
+        if span.shard != MAIN_SHARD:
+            continue
+        in_bounding = span.batch == bounding_batch
+        request_level = span.batch is None
+        if span.layer is Layer.OPERATOR and in_bounding:
+            if span.category is not OpCategory.SPARSE:
+                stack[DENSE_OPS] += span.duration
+            # Local sparse ops are covered by their EMBEDDED span.
+        elif span.layer is Layer.EMBEDDED and in_bounding:
+            stack[EMBEDDED_PORTION] += span.duration
+        elif span.layer is Layer.SERDE and (in_bounding or request_level):
+            if span.rpc_id is None:
+                # Response deser runs on IO threads inside the embedded
+                # window (already covered by the EMBEDDED span).
+                stack[RPC_SERDE] += span.duration
+        elif span.layer is Layer.NET_OVERHEAD and in_bounding:
+            stack[NET_OVERHEAD] += span.duration
+    accounted = sum(stack.values())
+    stack[RPC_SERVICE] = max(0.0, e2e - accounted)
+    return stack
+
+
+def _embedded_stack(spans: list[Span], bounding_batch: int) -> dict[str, float]:
+    stack = {bucket: 0.0 for bucket in EMBEDDED_BUCKETS}
+    clients = [s for s in spans if s.layer is Layer.RPC_CLIENT]
+    if not clients:
+        # Singular: the embedded portion is the bounding batch's local
+        # sparse ops themselves.
+        stack[SPARSE_OPS] = sum(
+            s.duration
+            for s in spans
+            if s.layer is Layer.OPERATOR
+            and s.shard == MAIN_SHARD
+            and s.category is OpCategory.SPARSE
+            and s.batch == bounding_batch
+        )
+        return stack
+
+    bounding = max(clients, key=lambda s: s.duration)
+    shard_spans = [s for s in spans if s.rpc_id == bounding.rpc_id and s.shard != MAIN_SHARD]
+    shard_service = next(s for s in shard_spans if s.layer is Layer.SERVICE)
+    ops = sum(s.duration for s in shard_spans if s.layer is Layer.OPERATOR)
+    serde = sum(s.duration for s in shard_spans if s.layer is Layer.SERDE)
+    overhead = sum(s.duration for s in shard_spans if s.layer is Layer.NET_OVERHEAD)
+
+    stack[SPARSE_OPS] = ops
+    stack[RPC_SERDE] = serde
+    stack[NET_OVERHEAD] = overhead
+    stack[RPC_SERVICE] = max(0.0, shard_service.duration - ops - serde - overhead)
+    # Skew-safe: both terms are same-server durations (Section IV-B).
+    stack[NETWORK_LATENCY] = max(0.0, bounding.duration - shard_service.duration)
+    return stack
+
+
+def _cpu_stack(spans: list[Span]) -> dict[str, float]:
+    stack = {bucket: 0.0 for bucket in CPU_BUCKETS}
+    for span in spans:
+        if span.layer is Layer.OPERATOR:
+            stack[CPU_OPS] += span.cpu_time
+        elif span.layer is Layer.SERDE:
+            stack[RPC_SERDE] += span.cpu_time
+        elif span.layer in (Layer.SERVICE, Layer.NET_OVERHEAD):
+            stack[CPU_SERVICE] += span.cpu_time
+    return stack

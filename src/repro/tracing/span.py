@@ -1,0 +1,110 @@
+"""Trace spans for the cross-layer instrumentation framework (paper Sec. IV).
+
+The paper adds trace points at three layers of the serving stack -- the
+RPC service (Thrift), the ML framework (Caffe2), and the ML operators --
+on every shard, and logs wall-clock timestamps plus per-request CPU time.
+A :class:`Span` is one instrumented interval:
+
+* ``start``/``end`` are **wall-clock** times *as stamped by the recording
+  server*, i.e. including that server's clock skew.  Durations of spans on
+  the same server are skew-free; cross-server comparisons must use the
+  duration-difference method (Section IV-B), which the attribution module
+  implements.
+* ``cpu_time`` is the core occupancy attributed to the span (the paper
+  logs per-shard CPU time per request to validate wall-clock proxies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.types import OpCategory
+
+MAIN_SHARD = -1
+"""Shard index used for the main (dense) shard in spans."""
+
+
+class Layer(enum.Enum):
+    """Instrumentation layer of a span."""
+
+    SERVICE = "service"
+    """RPC service handler work (request routing, boilerplate)."""
+
+    SERDE = "serde"
+    """Request/response serialization or deserialization."""
+
+    NET_OVERHEAD = "net-overhead"
+    """ML-framework time not spent in operators (scheduling etc.)."""
+
+    OPERATOR = "operator"
+    """ML operator execution; ``category`` identifies the group."""
+
+    RPC_CLIENT = "rpc-client"
+    """Outstanding remote call measured at the calling shard."""
+
+    EMBEDDED = "embedded"
+    """The embedded portion: local sparse ops (singular) or the window
+    from RPC issue to last response (distributed), per net per batch."""
+
+    BATCH = "batch"
+    """One batch's end-to-end execution window on the main shard."""
+
+
+@dataclass
+class Span:
+    """One instrumented interval of one request."""
+
+    request_id: int
+    shard: int
+    server: str
+    layer: Layer
+    name: str
+    start: float
+    end: float
+    cpu_time: float = 0.0
+    category: OpCategory | None = None
+    net: str | None = None
+    batch: int | None = None
+    rpc_id: int | None = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration (skew-free: start/end share a server)."""
+        return self.end - self.start
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(
+                f"span {self.name}: end {self.end} precedes start {self.start}"
+            )
+
+
+class Tracer:
+    """Collects spans, grouped by request for post-processing.
+
+    ``pop_request`` hands a request's spans to the attribution pipeline and
+    frees them -- full experiment sweeps process millions of spans and are
+    attributed incrementally, mirroring the paper's asynchronous flush of
+    trace buffers to offline analysis.
+    """
+
+    def __init__(self):
+        self._by_request: dict[int, list[Span]] = {}
+        self.spans_recorded = 0
+
+    def record(self, span: Span) -> None:
+        self._by_request.setdefault(span.request_id, []).append(span)
+        self.spans_recorded += 1
+
+    def for_request(self, request_id: int) -> list[Span]:
+        return list(self._by_request.get(request_id, []))
+
+    def pop_request(self, request_id: int) -> list[Span]:
+        return self._by_request.pop(request_id, [])
+
+    def request_ids(self) -> list[int]:
+        return sorted(self._by_request)
+
+    def clear(self) -> None:
+        self._by_request.clear()

@@ -1,0 +1,140 @@
+"""Integration + property tests: distributed execution == singular execution.
+
+The paper's serving transformation must not change model outputs -- the
+whole point of sharding is to relocate the embedding tables, not to alter
+the math.  These tests partition materialized models with every strategy
+and assert the scores match the unsharded forward pass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dlrm import MaterializedModel
+from repro.core.operators import RemoteCall
+from repro.models import drm1, drm3
+from repro.requests import RequestGenerator, materialize_numeric
+from repro.sharding import (
+    STRATEGIES,
+    DistributedModel,
+    estimate_pooling_factors,
+    singular_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_drm1():
+    return MaterializedModel.build(drm1(scale=1e-6), max_rows=64, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tiny_drm3():
+    return MaterializedModel.build(drm3(scale=1e-6), max_rows=64, seed=7)
+
+
+@pytest.fixture(scope="module")
+def drm1_pooling(tiny_drm1):
+    return estimate_pooling_factors(tiny_drm1.config, num_requests=100, seed=9)
+
+
+def scores_match(singular, distributed, request):
+    expected = singular.forward(request)
+    actual = distributed.forward(request)
+    np.testing.assert_allclose(actual, expected, rtol=1e-5, atol=1e-7)
+
+
+class TestDistributedEquivalence:
+    @pytest.mark.parametrize(
+        "strategy_name,num_shards",
+        [("1-shard", 1), ("cap-bal", 2), ("cap-bal", 4), ("load-bal", 4), ("NSBP", 2), ("NSBP", 4)],
+    )
+    def test_drm1_strategies_match_singular(
+        self, tiny_drm1, drm1_pooling, strategy_name, num_shards
+    ):
+        plan = STRATEGIES[strategy_name].build_plan(
+            tiny_drm1.config, num_shards, drm1_pooling
+        )
+        distributed = DistributedModel(tiny_drm1, plan)
+        generator = RequestGenerator(tiny_drm1.config, seed=21)
+        for request_id in range(3):
+            request = materialize_numeric(
+                tiny_drm1.config, generator.generate(request_id), seed=5
+            )
+            scores_match(tiny_drm1, distributed, request)
+
+    def test_drm3_nsbp_with_row_partitioning(self, tiny_drm3):
+        plan = STRATEGIES["NSBP"].build_plan(tiny_drm3.config, 8)
+        distributed = DistributedModel(tiny_drm3, plan)
+        # The dominant table really is row-partitioned in this plan.
+        parts = plan.assignments_for_table(
+            max(tiny_drm3.config.tables, key=lambda t: t.nbytes).name
+        )
+        assert len(parts) > 1
+        generator = RequestGenerator(tiny_drm3.config, seed=21)
+        for request_id in range(3):
+            request = materialize_numeric(
+                tiny_drm3.config, generator.generate(request_id), seed=5
+            )
+            scores_match(tiny_drm3, distributed, request)
+
+    def test_singular_plan_is_identity(self, tiny_drm1):
+        distributed = DistributedModel(tiny_drm1, singular_plan(tiny_drm1.config))
+        assert distributed.rpc_op_count == 0
+        generator = RequestGenerator(tiny_drm1.config, seed=21)
+        request = materialize_numeric(tiny_drm1.config, generator.generate(0), seed=5)
+        np.testing.assert_array_equal(
+            distributed.forward(request), tiny_drm1.forward(request)
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_property_random_requests(self, tiny_drm1, drm1_pooling, seed):
+        plan = STRATEGIES["cap-bal"].build_plan(tiny_drm1.config, 4)
+        distributed = DistributedModel(tiny_drm1, plan)
+        generator = RequestGenerator(tiny_drm1.config, seed=seed)
+        request = materialize_numeric(tiny_drm1.config, generator.generate(0), seed=seed)
+        scores_match(tiny_drm1, distributed, request)
+
+
+class TestRpcStructure:
+    def test_rpc_count_nsbp_vs_load_balanced(self, tiny_drm1, drm1_pooling):
+        """NSBP issues one RPC per shard; net-agnostic strategies issue up
+        to one per (net, shard) pair -- the paper's compute-overhead driver
+        (Section VI-C1)."""
+        nsbp = DistributedModel(
+            tiny_drm1, STRATEGIES["NSBP"].build_plan(tiny_drm1.config, 4)
+        )
+        load = DistributedModel(
+            tiny_drm1,
+            STRATEGIES["load-bal"].build_plan(tiny_drm1.config, 4, drm1_pooling),
+        )
+        assert nsbp.rpc_op_count == 4  # one per shard
+        assert load.rpc_op_count == 8  # one per net per shard
+
+    def test_rpc_ops_are_async(self, tiny_drm1):
+        distributed = DistributedModel(
+            tiny_drm1, STRATEGIES["NSBP"].build_plan(tiny_drm1.config, 2)
+        )
+        rpc_ops = [
+            op for op in distributed.graph.all_operators() if isinstance(op, RemoteCall)
+        ]
+        assert rpc_ops and all(op.is_async for op in rpc_ops)
+
+    def test_shards_are_stateless_between_calls(self, tiny_drm1):
+        """Calling a shard twice with the same payload gives identical
+        results (no retained state, paper Section III-A1)."""
+        plan = STRATEGIES["NSBP"].build_plan(tiny_drm1.config, 2)
+        distributed = DistributedModel(tiny_drm1, plan)
+        shard = distributed.shards[0]
+        net = tiny_drm1.config.tables[0].net
+        shard_tables = shard.tables_for_net(net)
+        assert shard_tables
+        payload = {}
+        for st_ in shard_tables:
+            payload[f"{st_.name}_hashed"] = np.array([0, 0], dtype=np.int64)
+            payload[f"{st_.name}_lengths"] = np.array([2], dtype=np.int64)
+        first = shard.invoke(net, payload)
+        second = shard.invoke(net, payload)
+        for blob in first:
+            np.testing.assert_array_equal(first[blob], second[blob])

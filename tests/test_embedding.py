@@ -1,0 +1,130 @@
+"""Tests for embedding tables, pooled lookup, and row partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.embedding import EmbeddingTable, partition_table
+from repro.models.config import TableConfig
+
+
+def make_table(rows=64, dim=8, seed=0):
+    config = TableConfig("t0", "net1", num_rows=rows, dim=dim)
+    return EmbeddingTable.materialize(config, max_rows=rows, seed=seed)
+
+
+class TestEmbeddingTable:
+    def test_materialize_caps_rows(self):
+        config = TableConfig("big", "net1", num_rows=10**9, dim=4)
+        table = EmbeddingTable.materialize(config, max_rows=128)
+        assert table.num_rows == 128
+
+    def test_lookup_sum_single_segment(self):
+        table = make_table()
+        ids = np.array([3, 5, 7])
+        out = table.lookup_sum(ids, np.array([3]))
+        expected = table.weights[3] + table.weights[5] + table.weights[7]
+        np.testing.assert_allclose(out[0], expected, rtol=1e-6)
+
+    def test_lookup_sum_multiple_segments(self):
+        table = make_table()
+        ids = np.array([0, 1, 2, 3, 4])
+        out = table.lookup_sum(ids, np.array([2, 0, 3]))
+        assert out.shape == (3, 8)
+        np.testing.assert_allclose(out[0], table.weights[0] + table.weights[1], rtol=1e-6)
+        np.testing.assert_array_equal(out[1], np.zeros(8))
+        np.testing.assert_allclose(
+            out[2], table.weights[2] + table.weights[3] + table.weights[4], rtol=1e-6
+        )
+
+    def test_empty_lookup_is_zeros(self):
+        table = make_table()
+        out = table.lookup_sum(np.zeros(0, dtype=np.int64), np.array([0, 0]))
+        np.testing.assert_array_equal(out, np.zeros((2, 8)))
+
+    def test_duplicate_ids_accumulate(self):
+        table = make_table()
+        out = table.lookup_sum(np.array([4, 4, 4]), np.array([3]))
+        np.testing.assert_allclose(out[0], 3 * table.weights[4], rtol=1e-6)
+
+    def test_out_of_range_id_rejected(self):
+        table = make_table(rows=16)
+        with pytest.raises(IndexError):
+            table.lookup_sum(np.array([16]), np.array([1]))
+        with pytest.raises(IndexError):
+            table.lookup_sum(np.array([-1]), np.array([1]))
+
+    def test_length_mismatch_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.lookup_sum(np.array([1, 2]), np.array([3]))
+
+    def test_weights_dim_must_match_config(self):
+        config = TableConfig("t", "net1", 8, dim=8)
+        with pytest.raises(ValueError):
+            EmbeddingTable(config, np.zeros((8, 4), dtype=np.float32))
+
+
+class TestRowPartitioning:
+    def test_partitions_cover_all_rows_once(self):
+        table = make_table(rows=67)  # deliberately not divisible
+        parts = partition_table(table, 4)
+        total_rows = sum(p.num_rows for p in parts)
+        assert total_rows == 67
+        reconstructed = np.zeros_like(table.weights)
+        for k, part in enumerate(parts):
+            reconstructed[k::4] = part.weights
+        np.testing.assert_array_equal(reconstructed, table.weights)
+
+    def test_partial_sums_reconstruct_full_lookup(self):
+        table = make_table(rows=50)
+        parts = partition_table(table, 3)
+        ids = np.array([0, 1, 2, 3, 49, 17, 17])
+        lengths = np.array([3, 4])
+        full = table.lookup_sum(ids, lengths)
+        partial_total = sum(p.lookup_sum_partial(ids, lengths) for p in parts)
+        np.testing.assert_allclose(partial_total, full, rtol=1e-5, atol=1e-7)
+
+    def test_routing_modulus(self):
+        table = make_table(rows=20)
+        parts = partition_table(table, 4)
+        ids = np.arange(20)
+        for k, part in enumerate(parts):
+            owned = ids[part.routing.owns(ids)]
+            assert (owned % 4 == k).all()
+            np.testing.assert_array_equal(part.routing.to_local(owned), owned // 4)
+
+    def test_single_partition_identity(self):
+        table = make_table(rows=30)
+        (part,) = partition_table(table, 1)
+        ids = np.array([0, 29, 7])
+        lengths = np.array([3])
+        np.testing.assert_allclose(
+            part.lookup_sum_partial(ids, lengths), table.lookup_sum(ids, lengths), rtol=1e-6
+        )
+
+    def test_bad_part_count_rejected(self):
+        with pytest.raises(ValueError):
+            partition_table(make_table(), 0)
+
+    @given(
+        num_parts=st.integers(1, 8),
+        seed=st.integers(0, 100),
+        rows=st.integers(8, 120),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_invariant_random(self, num_parts, seed, rows):
+        """Property: partitioned pooled lookup == unpartitioned, any split."""
+        table = make_table(rows=rows, seed=seed)
+        parts = partition_table(table, num_parts)
+        rng = np.random.default_rng(seed)
+        n_ids = int(rng.integers(0, 40))
+        ids = rng.integers(0, rows, size=n_ids)
+        # random segmentation of the ids
+        n_segments = int(rng.integers(1, 6))
+        cuts = np.sort(rng.integers(0, n_ids + 1, size=n_segments - 1))
+        lengths = np.diff(np.concatenate([[0], cuts, [n_ids]]))
+        full = table.lookup_sum(ids, lengths)
+        partial = sum(p.lookup_sum_partial(ids, lengths) for p in parts)
+        np.testing.assert_allclose(partial, full, rtol=1e-4, atol=1e-6)

@@ -1,0 +1,272 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation.engine import Engine, SimulationError
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+
+    def proc():
+        yield engine.timeout(1.5)
+        return engine.now
+
+    process = engine.process(proc())
+    engine.run()
+    assert process.triggered
+    assert process.value == pytest.approx(1.5)
+
+
+def test_timeout_carries_value():
+    engine = Engine()
+
+    def proc():
+        value = yield engine.timeout(0.1, value="payload")
+        return value
+
+    process = engine.process(proc())
+    engine.run()
+    assert process.value == "payload"
+
+
+def test_negative_timeout_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.timeout(-0.1)
+
+
+def test_sequential_timeouts_accumulate():
+    engine = Engine()
+    timestamps = []
+
+    def proc():
+        for delay in (1.0, 2.0, 3.0):
+            yield engine.timeout(delay)
+            timestamps.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert timestamps == [1.0, 3.0, 6.0]
+
+
+def test_processes_run_concurrently():
+    engine = Engine()
+    log = []
+
+    def worker(name, delay):
+        yield engine.timeout(delay)
+        log.append((engine.now, name))
+
+    engine.process(worker("slow", 2.0))
+    engine.process(worker("fast", 1.0))
+    engine.run()
+    assert log == [(1.0, "fast"), (2.0, "slow")]
+
+
+def test_same_time_events_fifo_order():
+    engine = Engine()
+    log = []
+
+    def worker(name):
+        yield engine.timeout(1.0)
+        log.append(name)
+
+    for name in ("a", "b", "c"):
+        engine.process(worker(name))
+    engine.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_waits_on_process():
+    engine = Engine()
+
+    def inner():
+        yield engine.timeout(2.0)
+        return 42
+
+    def outer():
+        result = yield engine.process(inner())
+        return (engine.now, result)
+
+    process = engine.process(outer())
+    engine.run()
+    assert process.value == (2.0, 42)
+
+
+def test_all_of_waits_for_slowest():
+    engine = Engine()
+
+    def worker(delay):
+        yield engine.timeout(delay)
+        return delay
+
+    def outer():
+        children = [engine.process(worker(d)) for d in (3.0, 1.0, 2.0)]
+        values = yield engine.all_of(children)
+        return (engine.now, values)
+
+    process = engine.process(outer())
+    engine.run()
+    at, values = process.value
+    assert at == 3.0
+    assert values == [3.0, 1.0, 2.0]  # order of submission, not completion
+
+
+def test_all_of_empty_triggers_immediately():
+    engine = Engine()
+
+    def outer():
+        values = yield engine.all_of([])
+        return (engine.now, values)
+
+    process = engine.process(outer())
+    engine.run()
+    assert process.value == (0.0, [])
+
+
+def test_any_of_returns_first():
+    engine = Engine()
+
+    def worker(delay):
+        yield engine.timeout(delay)
+        return delay
+
+    def outer():
+        children = [engine.process(worker(d)) for d in (3.0, 1.0)]
+        index, value = yield engine.any_of(children)
+        return (engine.now, index, value)
+
+    process = engine.process(outer())
+    engine.run()
+    assert process.value == (1.0, 1, 1.0)
+
+
+def test_event_succeed_twice_rejected():
+    engine = Engine()
+    event = engine.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    engine = Engine()
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+
+    def proc():
+        yield engine.timeout(10.0)
+
+    engine.process(proc())
+    final = engine.run(until=4.0)
+    assert final == 4.0
+    # remaining work still runs afterwards
+    final = engine.run()
+    assert final == 10.0
+
+
+class TestResource:
+    def test_acquire_release_serializes_work(self):
+        engine = Engine()
+        resource = engine.resource(1)
+        log = []
+
+        def worker(name):
+            yield resource.acquire()
+            log.append((engine.now, name, "start"))
+            yield engine.timeout(1.0)
+            log.append((engine.now, name, "end"))
+            resource.release()
+
+        engine.process(worker("a"))
+        engine.process(worker("b"))
+        engine.run()
+        assert log == [
+            (0.0, "a", "start"),
+            (1.0, "a", "end"),
+            (1.0, "b", "start"),
+            (2.0, "b", "end"),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        engine = Engine()
+        resource = engine.resource(2)
+        ends = []
+
+        def worker():
+            yield resource.acquire()
+            yield engine.timeout(1.0)
+            resource.release()
+            ends.append(engine.now)
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        assert ends == [1.0, 1.0, 2.0, 2.0]
+
+    def test_release_without_acquire_rejected(self):
+        engine = Engine()
+        resource = engine.resource(1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_fifo_queue_order(self):
+        engine = Engine()
+        resource = engine.resource(1)
+        order = []
+
+        def worker(name):
+            yield resource.acquire()
+            order.append(name)
+            yield engine.timeout(0.5)
+            resource.release()
+
+        for name in ("first", "second", "third"):
+            engine.process(worker(name))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_in_use_and_queued_counters(self):
+        engine = Engine()
+        resource = engine.resource(1)
+
+        def holder():
+            yield resource.acquire()
+            yield engine.timeout(2.0)
+            resource.release()
+
+        def waiter():
+            yield engine.timeout(1.0)
+            yield resource.acquire()
+            resource.release()
+
+        engine.process(holder())
+        engine.process(waiter())
+        engine.run(until=1.5)
+        assert resource.in_use == 1
+        assert resource.queued == 1
+        engine.run()
+        assert resource.in_use == 0
+        assert resource.queued == 0
+
+    def test_bad_capacity_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.resource(0)
+
+
+def test_yielding_non_event_raises():
+    engine = Engine()
+
+    def proc():
+        yield 1.0  # not an Event
+
+    engine.process(proc())
+    with pytest.raises(SimulationError):
+        engine.run()

@@ -1,0 +1,91 @@
+"""Unit tests for seeded RNG substreams, units, and dtypes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rng import derive_seed, substream
+from repro.core.types import (
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    US,
+    DType,
+    OpCategory,
+    DENSE_CATEGORIES,
+    format_bytes,
+    format_duration,
+)
+
+
+class TestRng:
+    def test_same_keys_same_stream(self):
+        a = substream(7, "requests", "drm1").normal(size=8)
+        b = substream(7, "requests", "drm1").normal(size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_different_stream(self):
+        a = substream(7, "requests", "drm1").normal(size=8)
+        b = substream(7, "requests", "drm2").normal(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_different_root_seed_different_stream(self):
+        a = substream(1, "fabric").normal(size=8)
+        b = substream(2, "fabric").normal(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_key_order_matters(self):
+        assert derive_seed(0, "a", "b") != derive_seed(0, "b", "a")
+
+    def test_int_and_str_keys_distinct(self):
+        assert derive_seed(0, 1) != derive_seed(0, "1")
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=16))
+    def test_seed_in_64bit_range(self, root, key):
+        seed = derive_seed(root, key)
+        assert 0 <= seed < 2**64
+
+
+class TestDType:
+    def test_fp32_row_bytes(self):
+        assert DType.FP32.row_bytes(64) == 256.0
+
+    def test_int8_row_includes_overhead(self):
+        assert DType.INT8.row_bytes(64) == 64 + 4
+
+    def test_int4_half_byte_elements(self):
+        assert DType.INT4.row_bytes(64) == 32 + 4
+
+    def test_quantized_smaller_than_fp32(self):
+        for dim in (8, 32, 64, 128):
+            assert DType.INT8.row_bytes(dim) < DType.FP32.row_bytes(dim)
+            assert DType.INT4.row_bytes(dim) < DType.INT8.row_bytes(dim)
+
+
+class TestUnitsAndFormatting:
+    def test_unit_ratios(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+        assert MS == 1000 * US
+
+    def test_format_bytes(self):
+        assert format_bytes(194.05 * GIB) == "194.05 GiB"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(3.5 * MIB) == "3.50 MiB"
+
+    def test_format_duration(self):
+        assert format_duration(1.5) == "1.500 s"
+        assert format_duration(2.5 * MS) == "2.500 ms"
+        assert format_duration(120 * US) == "120.0 us"
+        assert format_duration(500e-9) == "500 ns"
+
+    def test_sparse_category_flag(self):
+        assert OpCategory.SPARSE.is_sparse
+        assert not OpCategory.DENSE.is_sparse
+
+    def test_dense_categories_exclude_sparse_and_rpc(self):
+        assert OpCategory.SPARSE not in DENSE_CATEGORIES
+        assert OpCategory.RPC not in DENSE_CATEGORIES
+        assert OpCategory.DENSE in DENSE_CATEGORIES
