@@ -7,7 +7,13 @@ time the figure *generation* step while asserting the paper's qualitative
 shapes on the data.
 
 Request count per configuration comes from ``REPRO_REQUESTS`` (default
-150 here; raise it for tighter quantiles).
+150 here; raise it for tighter quantiles -- the simulation fast path
+keeps even 500+ cheap, see ``test_perf_throughput.py`` and
+``results/BENCH_throughput.json``).
+
+Pooling-factor estimates are additionally memoized globally in
+:mod:`repro.sharding.pooling`, so the suite runner and every serving
+variant here share one estimate per (model, sample size, seed).
 """
 
 from __future__ import annotations
@@ -76,10 +82,9 @@ class SuiteCache:
         return self._memo(("qps", model_name), lambda: run_suite(model, settings))
 
     def pooling(self, model_name: str):
-        model = self.models[model_name]
-        return self._memo(
-            ("pooling", model_name),
-            lambda: estimate_pooling_factors(model, num_requests=1000, seed=42),
+        # estimate_pooling_factors memoizes globally; no local memo needed.
+        return estimate_pooling_factors(
+            self.models[model_name], num_requests=1000, seed=42
         )
 
     def platform_pair(self):

@@ -1,0 +1,171 @@
+"""Simulation fast-path throughput benchmark (``BENCH_throughput.json``).
+
+Times the three stages the fast path optimized -- request generation,
+the DES sweep itself, and the parallel sweep runner -- and records
+simulated-requests-per-second into ``results/BENCH_throughput.json`` via
+:func:`repro.analysis.bench.record_benchmark`.  CI uploads the JSON as an
+artifact; comparing it across commits is the perf-regression trajectory
+for the experiment pipeline.
+
+``SEED_SWEEP_RPS`` is the measured throughput of the pre-fast-path code
+(the v0 seed commit) for the identical DRM1 paper sweep on the reference
+dev container; ``speedup_vs_seed`` in the artifact is relative to it and
+is only meaningful on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.analysis.bench import record_benchmark
+from repro.experiments import (
+    SuiteSettings,
+    run_suite,
+    run_suite_parallel,
+    suite_requests,
+)
+from repro.experiments.parallel import default_workers
+from repro.sharding.pooling import estimate_pooling_factors
+from repro.models import drm1
+from repro.requests import RequestGenerator
+from repro.serving import ServingConfig
+from repro.tracing.span import MAIN_SHARD, Layer, Span
+
+from conftest import BENCH_REQUESTS
+
+#: Seed-commit reference: 11-config DRM1 sweep at REPRO_REQUESTS=500 ran at
+#: 85.5 simulated requests/second on the reference container (measured at
+#: the commit introducing this benchmark, before the fast path landed).
+SEED_SWEEP_RPS = 85.5
+SEED_SWEEP_REQUESTS = 500
+
+#: Request count for the generator microbenchmark (generation is orders of
+#: magnitude faster than simulation, so it needs a bigger sample to time).
+GEN_REQUESTS = 2000
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _time_best(fn, repeats: int = 2):
+    """Best-of-N wall time: resilient to scheduler noise on shared CI."""
+    result, best = _time(fn)
+    for _ in range(repeats - 1):
+        result, elapsed = _time(fn)
+        best = min(best, elapsed)
+    return result, best
+
+
+def _span_bytes_per_instance(count: int = 10_000) -> float:
+    """Live bytes per Span, measured -- the ``__slots__`` win tracker."""
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    spans = [
+        Span(
+            request_id=i, shard=MAIN_SHARD, server="main", layer=Layer.SERDE,
+            name="bench", start=0.0, end=1.0, cpu_time=0.5,
+        )
+        for i in range(count)
+    ]
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(spans) == count
+    return (after - before) / count
+
+
+def test_perf_throughput():
+    model = drm1()
+    settings = SuiteSettings(
+        num_requests=BENCH_REQUESTS, serving=ServingConfig(seed=1)
+    )
+
+    # 1. Request generation: vectorized bulk path vs scalar reference.
+    vec_requests, vec_s = _time_best(
+        lambda: RequestGenerator(model, seed=3).generate_many(GEN_REQUESTS)
+    )
+    timestamps = np.linspace(0.0, 5.0 * 86_400.0, GEN_REQUESTS, endpoint=False)
+
+    def scalar_pass():
+        generator = RequestGenerator(model, seed=3)
+        return [generator.generate(i, float(t)) for i, t in enumerate(timestamps)]
+
+    scalar_requests, scalar_s = _time_best(scalar_pass)
+    assert len(vec_requests) == len(scalar_requests) == GEN_REQUESTS
+    gen_speedup = scalar_s / vec_s
+    # DRM1 is the worst case for the bulk path (most tables, biggest
+    # requests); it still wins clearly once scheduler noise is excluded.
+    # Advisory on shared CI runners (the JSON artifact is the regression
+    # signal); enforced only where the host is known-quiet.
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert gen_speedup > 1.2
+
+    # 2. Serial DES sweep over the full DRM1 paper configuration matrix.
+    # Warm the shared one-time caches (pooling memo, request sample is
+    # regenerated per run but cached_property warmup matters) so serial
+    # and parallel timings are both measured warm and comparable.
+    suite_requests(model, settings)
+    estimate_pooling_factors(
+        model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
+    )
+    serial_results, serial_s = _time(lambda: run_suite(model, settings))
+    simulated = sum(len(result) for result in serial_results.values())
+    serial_rps = simulated / serial_s
+    assert simulated == BENCH_REQUESTS * len(serial_results)
+
+    # 3. Parallel sweep runner (worker count depends on the host).
+    workers = default_workers()
+    parallel_results, parallel_s = _time(
+        lambda: run_suite_parallel(model, settings, max_workers=workers)
+    )
+    parallel_rps = simulated / parallel_s
+    assert list(parallel_results) == list(serial_results)
+
+    span_bytes = _span_bytes_per_instance()
+
+    path = record_benchmark(
+        "throughput",
+        {
+            "bench_requests": BENCH_REQUESTS,
+            "configurations": len(serial_results),
+            "generator": {
+                "requests": GEN_REQUESTS,
+                "vectorized_rps": GEN_REQUESTS / vec_s,
+                "scalar_rps": GEN_REQUESTS / scalar_s,
+                "speedup_vectorized_vs_scalar": gen_speedup,
+            },
+            "sweep": {
+                "simulated_requests": simulated,
+                "serial_wall_s": serial_s,
+                "serial_rps": serial_rps,
+                "parallel_wall_s": parallel_s,
+                "parallel_rps": parallel_rps,
+                "parallel_workers": workers,
+                "seed_reference_rps": SEED_SWEEP_RPS,
+                "seed_reference_requests": SEED_SWEEP_REQUESTS,
+                # Only an apples-to-apples ratio when the request count
+                # matches the one the seed reference was measured at; the
+                # single-process serial number is compared (the seed
+                # reference is serial), so hardware parallelism can never
+                # mask a fast-path regression.
+                "speedup_vs_seed": (
+                    serial_rps / SEED_SWEEP_RPS
+                    if BENCH_REQUESTS == SEED_SWEEP_REQUESTS
+                    else None
+                ),
+            },
+            "span_bytes_per_instance": span_bytes,
+        },
+    )
+    print(
+        f"\n[bench] serial {serial_rps:.0f} req/s, parallel {parallel_rps:.0f} "
+        f"req/s ({workers} workers), gen speedup {gen_speedup:.1f}x, "
+        f"span {span_bytes:.0f} B -> {path}"
+    )
+    assert serial_rps > 0 and parallel_rps > 0

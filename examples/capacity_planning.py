@@ -8,6 +8,14 @@ The script sizes both deployments across a QPS sweep and reports servers
 and pinned DRAM, plus the SLA fallout of each configuration.
 
 Run:  python examples/capacity_planning.py
+
+Sizing knobs (see ``repro.experiments``): ``REPRO_REQUESTS`` scales the
+request sample of any suite-driven study (the simulation fast path makes
+500+ cheap); a full configuration matrix can be fanned out over worker
+processes with ``repro.experiments.run_suite_parallel`` (identical output
+to ``run_suite``, ``REPRO_SWEEP_WORKERS`` caps the pool); throughput
+numbers for this pipeline are tracked in ``results/BENCH_throughput.json``
+by ``benchmarks/test_perf_throughput.py``.
 """
 
 import numpy as np

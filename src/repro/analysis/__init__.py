@@ -8,10 +8,12 @@ from repro.analysis.caching import (
     lru_hit_rate,
     working_set_rows,
 )
+from repro.analysis.bench import record_benchmark
 from repro.analysis.quantiles import (
     QUANTILES,
     OverheadPoint,
     median_window_mean,
+    median_window_mean_columns,
     overhead_series,
     overhead_vs_baseline,
     quantile,
@@ -31,7 +33,9 @@ __all__ = [
     "format_stack_bars",
     "format_table",
     "median_window_mean",
+    "median_window_mean_columns",
     "overhead_series",
+    "record_benchmark",
     "overhead_vs_baseline",
     "quantile",
     "quantiles",

@@ -58,6 +58,29 @@ def overhead_series(
     ]
 
 
+def median_window_mean_columns(
+    columns: dict[str, "np.ndarray"],
+    keyed_by,
+    lo_pct: float = 40.0,
+    hi_pct: float = 60.0,
+) -> dict[str, float]:
+    """Columnar :func:`median_window_mean`: one array per stack bucket.
+
+    Operates directly on a ``RunResult``'s preallocated stack columns, so
+    figure generation never rebuilds per-request dicts.
+    """
+    keys = np.asarray(keyed_by, dtype=float)
+    for bucket, column in columns.items():
+        if len(column) != keys.size:
+            raise ValueError(f"column {bucket} does not align with keys")
+    lo, hi = np.percentile(keys, [lo_pct, hi_pct])
+    mask = (keys >= lo) & (keys <= hi)
+    chosen = int(mask.sum())
+    if chosen == 0:
+        return {bucket: float(np.mean(col)) for bucket, col in columns.items()}
+    return {bucket: float(col[mask].sum() / chosen) for bucket, col in columns.items()}
+
+
 def median_window_mean(samples: list[dict[str, float]], keyed_by: list[float],
                        lo_pct: float = 40.0, hi_pct: float = 60.0) -> dict[str, float]:
     """Mean of per-request stacks across the median window of a key metric.

@@ -20,6 +20,7 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.core.types import GIB
 from repro.experiments.configs import ShardingConfiguration, build_plan
+from repro.experiments.parallel import run_suite_parallel
 from repro.experiments.runner import run_configuration, run_suite, SuiteSettings
 from repro.models.zoo import MODEL_FACTORIES, build
 from repro.requests.generator import RequestGenerator
@@ -129,7 +130,10 @@ def cmd_suite(args: argparse.Namespace) -> int:
     settings = SuiteSettings(
         num_requests=args.requests, serving=ServingConfig(seed=args.seed)
     )
-    results = run_suite(model, settings)
+    if args.parallel or args.workers is not None:
+        results = run_suite_parallel(model, settings, max_workers=args.workers)
+    else:
+        results = run_suite(model, settings)
     base = results[SINGULAR]
     rows = []
     for label, result in results.items():
@@ -200,6 +204,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_argument(suite)
     suite.add_argument("--requests", type=int, default=120)
     suite.add_argument("--seed", type=int, default=1)
+    suite.add_argument(
+        "--parallel", action="store_true",
+        help="fan configurations out over worker processes "
+        "(identical results to the serial sweep)",
+    )
+    suite.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-process cap; implies --parallel (default: CPU count "
+        "or REPRO_SWEEP_WORKERS)",
+    )
     suite.set_defaults(func=cmd_suite)
 
     trace = commands.add_parser("trace", help="render one request's trace")

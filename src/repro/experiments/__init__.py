@@ -1,4 +1,22 @@
-"""Experiment harness: configuration matrix, runner, figure generators."""
+"""Experiment harness: configuration matrix, runner, figure generators.
+
+Sizing and throughput knobs
+---------------------------
+
+* ``REPRO_REQUESTS`` -- request count per configuration in suites and
+  benchmarks (default 200 for suites, 150 in ``benchmarks/``).  The
+  paper's tail quantiles (P99 overheads, Section VI-B4) need large
+  samples to stabilize; the simulation fast path (vectorized request
+  generation, the DES plain-delay yield, columnar ``RunResult`` storage)
+  exists so raising this knob is cheap.
+* ``REPRO_SWEEP_WORKERS`` -- worker processes for
+  :func:`~repro.experiments.parallel.run_suite_parallel`, which fans the
+  configuration matrix out over ``multiprocessing`` and is byte-identical
+  to the serial :func:`~repro.experiments.runner.run_suite`.
+* ``results/BENCH_throughput.json`` -- simulated-requests-per-second
+  trajectory, rewritten by ``benchmarks/test_perf_throughput.py`` via
+  :func:`repro.analysis.bench.record_benchmark`.
+"""
 
 from repro.experiments.configs import (
     PAPER_SHARD_COUNTS,
@@ -6,6 +24,7 @@ from repro.experiments.configs import (
     build_plan,
     paper_configurations,
 )
+from repro.experiments.parallel import default_workers, run_suite_parallel
 from repro.experiments.runner import (
     RunResult,
     SuiteSettings,
@@ -23,9 +42,11 @@ __all__ = [
     "SuiteSettings",
     "build_plan",
     "default_num_requests",
+    "default_workers",
     "figures",
     "paper_configurations",
     "run_configuration",
     "run_suite",
+    "run_suite_parallel",
     "suite_requests",
 ]

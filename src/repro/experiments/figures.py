@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.analysis.quantiles import (
     QUANTILES,
-    median_window_mean,
+    median_window_mean_columns,
     overhead_vs_baseline,
 )
 from repro.analysis.report import format_stack_bars, format_table
@@ -220,19 +220,28 @@ def fig16_qps_overheads(results: dict[str, RunResult]) -> FigureArtifact:
 
 
 # -- Figures 8 / 9 -----------------------------------------------------------------
+_STACK_KEYS = {
+    "latency": lambda result: result.e2e,
+    "embedded": lambda result: result.embedded_totals,
+    "cpu": lambda result: result.cpu,
+}
+
+
 def _p50_stacks(
-    results: dict[str, RunResult], stack_getter, key_getter
+    results: dict[str, RunResult], kind: str
 ) -> dict[str, dict[str, float]]:
-    stacks = {}
-    for label, result in results.items():
-        stacks[label] = median_window_mean(
-            stack_getter(result), [key_getter(a) for a in result.attributions]
+    """Median-window mean stacks straight from each result's columns."""
+    key_getter = _STACK_KEYS[kind]
+    return {
+        label: median_window_mean_columns(
+            result.stack_columns(kind), key_getter(result)
         )
-    return stacks
+        for label, result in results.items()
+    }
 
 
 def fig8a_e2e_latency_stacks(results: dict[str, RunResult]) -> FigureArtifact:
-    stacks = _p50_stacks(results, RunResult.latency_stacks, lambda a: a.e2e)
+    stacks = _p50_stacks(results, "latency")
     text = format_stack_bars(
         stacks, E2E_BUCKETS,
         title="Figure 8a: P50 E2E latency stacks (normalized to tallest config)",
@@ -241,9 +250,7 @@ def fig8a_e2e_latency_stacks(results: dict[str, RunResult]) -> FigureArtifact:
 
 
 def fig8b_embedded_stacks(results: dict[str, RunResult]) -> FigureArtifact:
-    stacks = _p50_stacks(
-        results, RunResult.embedded_stacks, lambda a: a.embedded_total
-    )
+    stacks = _p50_stacks(results, "embedded")
     text = format_stack_bars(
         stacks, EMBEDDED_BUCKETS,
         title="Figure 8b: P50 embedded-portion stacks (bounding shard)",
@@ -252,7 +259,7 @@ def fig8b_embedded_stacks(results: dict[str, RunResult]) -> FigureArtifact:
 
 
 def fig9_cpu_stacks(results: dict[str, RunResult]) -> FigureArtifact:
-    stacks = _p50_stacks(results, RunResult.cpu_stacks, lambda a: a.cpu_total)
+    stacks = _p50_stacks(results, "cpu")
     text = format_stack_bars(
         stacks, CPU_BUCKETS,
         title="Figure 9: P50 aggregate CPU-time stacks (all shards)",
@@ -305,9 +312,7 @@ def fig11_drm3_per_shard(results: dict[str, RunResult]) -> FigureArtifact:
     shard_fig = per_shard_figure(
         nsbp8, "fig11a", "Figure 11a: DRM3 per-shard operator latencies (NSBP 8)"
     )
-    stacks = _p50_stacks(
-        results, RunResult.embedded_stacks, lambda a: a.embedded_total
-    )
+    stacks = _p50_stacks(results, "embedded")
     text = shard_fig.text + "\n\n" + format_stack_bars(
         stacks, EMBEDDED_BUCKETS,
         title="Figure 11b: DRM3 embedded-portion stacks",
@@ -360,7 +365,7 @@ def fig13_batching_latency(
     for mode, result_map in (("default", default_results), ("single-batch", single_results)):
         for model_name, results in result_map.items():
             baseline = _singular(results)
-            merged = _p50_stacks(results, RunResult.latency_stacks, lambda a: a.e2e)
+            merged = _p50_stacks(results, "latency")
             for label, stack in merged.items():
                 stacks[f"{model_name}/{mode}/{label}"] = stack
             overheads[f"{model_name}/{mode}"] = {
@@ -388,7 +393,7 @@ def fig14_batching_cpu(
     for mode, result_map in (("default", default_results), ("single-batch", single_results)):
         for model_name, results in result_map.items():
             baseline = _singular(results)
-            merged = _p50_stacks(results, RunResult.cpu_stacks, lambda a: a.cpu_total)
+            merged = _p50_stacks(results, "cpu")
             for label, stack in merged.items():
                 stacks[f"{model_name}/{mode}/{label}"] = stack
             overheads[f"{model_name}/{mode}"] = {

@@ -1,0 +1,115 @@
+"""Parallel configuration-sweep runner.
+
+A paper-style suite is embarrassingly parallel across its sharding
+configurations: every configuration replays the *same* cached request
+sample against an independently seeded cluster, so the simulations share
+no mutable state.  :func:`run_suite_parallel` fans the configuration
+matrix out over a ``multiprocessing`` pool and merges the per-process
+:class:`~repro.experiments.runner.RunResult` objects back into the same
+``{label: RunResult}`` mapping :func:`~repro.experiments.runner.run_suite`
+returns.
+
+Determinism: requests are generated once in the parent from
+``settings.request_seed``; every cluster substream is derived from
+``(serving.seed, ..., model.name, plan.label)``, i.e. per-configuration
+seeds are a pure function of the configuration, never of scheduling.  A
+parallel sweep is therefore byte-identical to a serial one for the same
+settings (regression-tested in ``tests/test_fastpath_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+
+from repro.experiments.configs import (
+    ShardingConfiguration,
+    build_plan,
+    paper_configurations,
+)
+from repro.experiments.runner import (
+    RunResult,
+    SuiteSettings,
+    run_configuration,
+    suite_requests,
+)
+from repro.models.config import ModelConfig
+from repro.sharding.pooling import estimate_pooling_factors
+
+#: Environment knob: worker-process cap for parallel sweeps.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_SWEEP_WORKERS`` if set, else the CPU count."""
+    configured = os.environ.get(WORKERS_ENV)
+    if configured is not None:
+        return max(1, int(configured))
+    return max(1, os.cpu_count() or 1)
+
+
+#: Per-worker sweep context: the shared (model, pooling, requests, serving,
+#: schedule) tuple is shipped once per worker via the pool initializer, so
+#: per-task payloads are just the configuration -- not a re-pickle of the
+#: whole request sample for every configuration.
+_WORKER_CONTEXT: tuple | None = None
+
+
+def _init_worker(context: tuple | None) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_one(configuration: ShardingConfiguration) -> tuple[str, RunResult]:
+    """Worker body: build one plan and simulate it (also used in-process)."""
+    model, pooling, requests, serving, schedule = _WORKER_CONTEXT
+    plan = build_plan(model, configuration, pooling)
+    result = run_configuration(model, plan, requests, serving, schedule)
+    return plan.label, result
+
+
+def run_suite_parallel(
+    model: ModelConfig,
+    settings: SuiteSettings | None = None,
+    configurations: tuple[ShardingConfiguration, ...] | None = None,
+    max_workers: int | None = None,
+) -> dict[str, RunResult]:
+    """Run the paper's configuration matrix across worker processes.
+
+    Drop-in replacement for :func:`~repro.experiments.runner.run_suite`
+    with identical output for identical settings.  With one usable core
+    (or ``max_workers=1``) the sweep runs in-process, skipping pool
+    setup and payload pickling entirely.
+    """
+    settings = settings or SuiteSettings()
+    configurations = configurations or paper_configurations(model.name)
+    requests = suite_requests(model, settings)
+    pooling = estimate_pooling_factors(
+        model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
+    )
+    context = (model, pooling, requests, settings.serving, settings.schedule)
+    workers = min(
+        max_workers if max_workers is not None else default_workers(),
+        len(configurations),
+    )
+    if workers <= 1:
+        _init_worker(context)
+        try:
+            pairs = [_run_one(configuration) for configuration in configurations]
+        finally:
+            _init_worker(None)
+    else:
+        # fork is the cheap path (workers inherit the context for free)
+        # but is only reliably safe on Linux; macOS numpy backends can
+        # deadlock in forked children, so use the platform default there.
+        if sys.platform == "linux":
+            mp_context = multiprocessing.get_context("fork")
+        else:
+            mp_context = multiprocessing.get_context()
+        with mp_context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(context,)
+        ) as pool:
+            pairs = pool.map(_run_one, configurations, chunksize=1)
+    # dict() preserves configuration order: pool.map returns in input order.
+    return dict(pairs)

@@ -20,7 +20,13 @@ from repro.requests.replayer import ReplayMode, ReplaySchedule
 from repro.serving.simulator import ClusterSimulation, ServingConfig
 from repro.sharding.plan import ShardingPlan
 from repro.sharding.pooling import estimate_pooling_factors
-from repro.tracing.attribution import RequestAttribution, attribute_request
+from repro.tracing.attribution import (
+    CPU_BUCKETS,
+    E2E_BUCKETS,
+    EMBEDDED_BUCKETS,
+    RequestAttribution,
+    attribute_request,
+)
 from repro.experiments.configs import (
     ShardingConfiguration,
     build_plan,
@@ -36,31 +42,117 @@ def default_num_requests() -> int:
     return int(os.environ.get(REQUESTS_ENV, DEFAULT_REQUESTS))
 
 
-@dataclass
 class RunResult:
-    """Attributed measurements for one simulated configuration."""
+    """Attributed measurements for one simulated configuration.
 
-    model_name: str
-    label: str
-    plan: ShardingPlan
-    attributions: list[RequestAttribution] = field(default_factory=list)
+    Storage is **columnar**: E2E latency, aggregate CPU, and the three
+    per-request stacks live in preallocated numpy arrays that are filled
+    incrementally as requests complete (grown by doubling).  Figure
+    generation therefore reads ready-made arrays instead of rebuilding
+    them from the list of :class:`RequestAttribution` dataclasses on
+    every access; the full attributions are retained for the per-shard
+    breakdowns and ad-hoc inspection.
+    """
 
+    _COLUMN_BUCKETS = {
+        "latency": E2E_BUCKETS,
+        "embedded": EMBEDDED_BUCKETS,
+        "cpu": CPU_BUCKETS,
+    }
+
+    def __init__(
+        self,
+        model_name: str,
+        label: str,
+        plan: ShardingPlan,
+        expected_requests: int = 0,
+    ):
+        self.model_name = model_name
+        self.label = label
+        self.plan = plan
+        self.attributions: list[RequestAttribution] = []
+        capacity = max(int(expected_requests), 16)
+        self._count = 0
+        self._e2e = np.empty(capacity)
+        self._cpu = np.empty(capacity)
+        self._stack_cols: dict[tuple[str, str], np.ndarray] = {
+            (kind, bucket): np.empty(capacity)
+            for kind, buckets in self._COLUMN_BUCKETS.items()
+            for bucket in buckets
+        }
+
+    def _grow(self, capacity: int) -> None:
+        def grown(array: np.ndarray) -> np.ndarray:
+            out = np.empty(capacity)
+            out[: self._count] = array[: self._count]
+            return out
+
+        self._e2e = grown(self._e2e)
+        self._cpu = grown(self._cpu)
+        self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
+
+    def add(self, attribution: RequestAttribution) -> None:
+        """Append one completed request's attribution."""
+        index = self._count
+        if index == len(self._e2e):
+            self._grow(2 * index)
+        self.attributions.append(attribution)
+        self._e2e[index] = attribution.e2e
+        self._cpu[index] = attribution.cpu_total
+        cols = self._stack_cols
+        for bucket, value in attribution.latency_stack.items():
+            cols["latency", bucket][index] = value
+        for bucket, value in attribution.embedded_stack.items():
+            cols["embedded", bucket][index] = value
+        for bucket, value in attribution.cpu_stack.items():
+            cols["cpu", bucket][index] = value
+        self._count = index + 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- columnar accessors (no per-access rebuild) -----------------------
     @property
     def e2e(self) -> np.ndarray:
-        return np.array([a.e2e for a in self.attributions])
+        return self._e2e[: self._count]
 
     @property
     def cpu(self) -> np.ndarray:
-        return np.array([a.cpu_total for a in self.attributions])
+        return self._cpu[: self._count]
+
+    def stack_columns(self, kind: str) -> dict[str, np.ndarray]:
+        """One array per bucket for ``kind`` in {latency, embedded, cpu}."""
+        return {
+            bucket: self._stack_cols[kind, bucket][: self._count]
+            for bucket in self._COLUMN_BUCKETS[kind]
+        }
+
+    @property
+    def embedded_totals(self) -> np.ndarray:
+        """Per-request embedded-portion totals (sum of embedded buckets)."""
+        columns = self.stack_columns("embedded")
+        total = np.zeros(self._count)
+        for column in columns.values():
+            total += column
+        return total
+
+    # -- row-oriented views (compatibility with pre-columnar callers) -----
+    def _stacks(self, kind: str) -> list[dict[str, float]]:
+        columns = self.stack_columns(kind)
+        buckets = self._COLUMN_BUCKETS[kind]
+        return [
+            {bucket: float(columns[bucket][i]) for bucket in buckets}
+            for i in range(self._count)
+        ]
 
     def latency_stacks(self) -> list[dict[str, float]]:
-        return [a.latency_stack for a in self.attributions]
+        return self._stacks("latency")
 
     def embedded_stacks(self) -> list[dict[str, float]]:
-        return [a.embedded_stack for a in self.attributions]
+        return self._stacks("embedded")
 
     def cpu_stacks(self) -> list[dict[str, float]]:
-        return [a.cpu_stack for a in self.attributions]
+        return self._stacks("cpu")
 
     def mean_per_shard_op_time(self) -> dict[int, float]:
         totals: dict[int, float] = {}
@@ -87,11 +179,16 @@ def run_configuration(
     """Simulate one configuration and attribute every request."""
     schedule = schedule or ReplaySchedule.serial()
     cluster = ClusterSimulation(model, plan, serving)
-    result = RunResult(model_name=model.name, label=plan.label, plan=plan)
+    result = RunResult(
+        model_name=model.name,
+        label=plan.label,
+        plan=plan,
+        expected_requests=len(requests),
+    )
 
     def on_complete(request_id: int) -> None:
         spans = cluster.tracer.pop_request(request_id)
-        result.attributions.append(attribute_request(spans))
+        result.add(attribute_request(spans))
 
     cluster.on_complete = on_complete
     if schedule.mode is ReplayMode.SERIAL:

@@ -17,6 +17,7 @@ reduced-scale correctness tests (see :mod:`repro.core.embedding`).
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -84,9 +85,10 @@ class TableConfig:
         if self.mean_ids < 0:
             raise ValueError(f"table {self.name}: mean_ids must be >= 0")
 
-    @property
+    @functools.cached_property
     def nbytes(self) -> float:
-        """Storage footprint of the full table."""
+        """Storage footprint of the full table (cached: the bin-packing
+        strategies and payload sizing read it in tight loops)."""
         return self.num_rows * self.dtype.row_bytes(self.dim)
 
     def expected_ids_per_request(self, mean_items: float) -> float:
@@ -151,6 +153,17 @@ class RequestProfile:
         items = self.median_items * float(np.exp(rng.normal(0.0, self.sigma_items)))
         return int(np.clip(round(items), self.min_items, self.max_items))
 
+    def sample_items_bulk(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Vectorized :meth:`sample_items`: ``count`` draws in one RNG call.
+
+        Must stay the element-wise image of the scalar path (one normal
+        per request, round, clip) -- the vectorized request generator's
+        byte-identity guarantee depends on this method and
+        :meth:`sample_items` sharing one definition of the distribution.
+        """
+        raw = self.median_items * np.exp(rng.normal(0.0, self.sigma_items, size=count))
+        return np.clip(np.round(raw), self.min_items, self.max_items)
+
     @property
     def mean_items(self) -> float:
         """Mean of the lognormal item count (before clipping)."""
@@ -180,22 +193,30 @@ class ModelConfig:
         for table in self.tables:
             if table.net not in known:
                 raise ValueError(f"table {table.name} references unknown net {table.net}")
+        # Lookup indices: table()/net()/tables_for_net() sit on the serving
+        # simulator's per-RPC hot path, so they must not scan.
+        by_net: dict[str, tuple[TableConfig, ...]] = {name: () for name in net_names}
+        for table in self.tables:
+            by_net[table.net] += (table,)
+        object.__setattr__(self, "_net_index", {net.name: net for net in self.nets})
+        object.__setattr__(self, "_table_index", {t.name: t for t in self.tables})
+        object.__setattr__(self, "_tables_by_net", by_net)
 
     # -- lookups ---------------------------------------------------------
     def net(self, name: str) -> NetConfig:
-        for net in self.nets:
-            if net.name == name:
-                return net
-        raise KeyError(f"no net named {name} in model {self.name}")
+        try:
+            return self._net_index[name]
+        except KeyError:
+            raise KeyError(f"no net named {name} in model {self.name}") from None
 
     def table(self, name: str) -> TableConfig:
-        for table in self.tables:
-            if table.name == name:
-                return table
-        raise KeyError(f"no table named {name} in model {self.name}")
+        try:
+            return self._table_index[name]
+        except KeyError:
+            raise KeyError(f"no table named {name} in model {self.name}") from None
 
     def tables_for_net(self, net_name: str) -> tuple[TableConfig, ...]:
-        return tuple(table for table in self.tables if table.net == net_name)
+        return self._tables_by_net.get(net_name, ())
 
     # -- capacity --------------------------------------------------------
     @property

@@ -13,6 +13,28 @@ seeded generator draws, per request:
 Requests carry *counts* (what the serving simulator and the pooling-factor
 estimator need); :func:`materialize_numeric` expands a request into actual
 raw ids for the numeric correctness path.
+
+Draw scheme
+-----------
+
+Every stochastic component owns an independent named substream:
+
+* ``(seed, "requests", model, "items")`` -- one normal draw per request
+  for the lognormal item count;
+* ``(seed, "requests", model, table, "activation")`` -- one uniform per
+  request for USER-scoped presence;
+* ``(seed, "requests", model, table, "counts")`` -- one Poisson per
+  request for USER-scoped id counts;
+* ``(seed, "requests", model, table, "per-item")`` -- one Poisson per
+  candidate item for ITEM-scoped id counts.
+
+Because each stream is consumed in request order with a fixed number of
+draws per request, a bulk array draw of ``N`` requests consumes each
+stream identically to ``N`` sequential scalar draws.  That is what makes
+the vectorized :meth:`RequestGenerator.generate_many` byte-identical to
+the scalar :meth:`RequestGenerator.generate` reference path (regression
+tested), while doing one RNG call per *table* instead of one per
+(request, table).
 """
 
 from __future__ import annotations
@@ -28,7 +50,7 @@ from repro.models.config import FeatureScope, ModelConfig
 _DAY_SECONDS = 86_400.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SparseFeatureDraw:
     """Lookup counts for one table in one request.
 
@@ -48,7 +70,7 @@ class SparseFeatureDraw:
         return int(self.per_item_counts[start:stop].sum())
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One ranking request at the granularity the simulator consumes."""
 
@@ -70,22 +92,43 @@ class Request:
 
 
 class RequestGenerator:
-    """Seeded request sampler for one model."""
+    """Seeded request sampler for one model.
+
+    The generator is stateful: each component substream advances as
+    requests are drawn, so mixing :meth:`generate` and
+    :meth:`generate_many` on one instance continues the same sample
+    sequence either way.
+    """
 
     def __init__(self, model: ModelConfig, seed: int = 0, diurnal_amplitude: float = 0.15):
         self.model = model
         self.seed = seed
         self.diurnal_amplitude = diurnal_amplitude
-        self._rng = substream(seed, "requests", model.name)
+        self._items_rng = substream(seed, "requests", model.name, "items")
+        self._table_rngs: dict[tuple[str, str], np.random.Generator] = {}
+
+    def _rng(self, table_name: str, component: str) -> np.random.Generator:
+        key = (table_name, component)
+        rng = self._table_rngs.get(key)
+        if rng is None:
+            rng = substream(self.seed, "requests", self.model.name, table_name, component)
+            self._table_rngs[key] = rng
+        return rng
 
     def _diurnal_factor(self, timestamp: float) -> float:
         phase = 2.0 * np.pi * (timestamp % _DAY_SECONDS) / _DAY_SECONDS
         return 1.0 + self.diurnal_amplitude * float(np.sin(phase))
 
+    # -- scalar reference path --------------------------------------------
     def generate(self, request_id: int, timestamp: float = 0.0) -> Request:
-        rng = self._rng
+        """Draw one request (scalar reference path).
+
+        Consumes exactly the same per-component draws as the vectorized
+        path, so ``[g.generate(i, t) for i, t in ...]`` equals
+        ``g.generate_many(...)`` for the same fresh seed.
+        """
         profile = self.model.profile
-        base_items = profile.sample_items(rng)
+        base_items = profile.sample_items(self._items_rng)
         num_items = max(
             profile.min_items, int(round(base_items * self._diurnal_factor(timestamp)))
         )
@@ -93,28 +136,127 @@ class RequestGenerator:
         draws: dict[str, SparseFeatureDraw] = {}
         for table in self.model.tables:
             if table.scope is FeatureScope.USER:
-                if rng.random() >= table.activation_prob:
-                    continue
+                # Activation and count are drawn unconditionally to keep
+                # the streams aligned with the bulk path.
+                activated = self._rng(table.name, "activation").random() < table.activation_prob
                 if table.deterministic_ids:
                     count = max(1, int(round(table.mean_ids)))
                 else:
-                    count = int(rng.poisson(table.mean_ids))
-                if count == 0:
+                    count = int(self._rng(table.name, "counts").poisson(table.mean_ids))
+                if not activated or count == 0:
                     continue
                 draws[table.name] = SparseFeatureDraw(table.name, count)
             else:
                 rate = table.activation_prob * table.mean_ids
-                per_item = rng.poisson(rate, size=num_items).astype(np.int32)
+                per_item = self._rng(table.name, "per-item").poisson(
+                    rate, size=num_items
+                )
                 total = int(per_item.sum())
                 if total == 0:
                     continue
                 draws[table.name] = SparseFeatureDraw(table.name, total, per_item)
         return Request(request_id, timestamp, num_items, draws)
 
+    # -- vectorized bulk path ---------------------------------------------
+    def _bulk_items(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorized item counts for one timestamp per request."""
+        profile = self.model.profile
+        base = profile.sample_items_bulk(self._items_rng, len(timestamps))
+        phase = 2.0 * np.pi * (timestamps % _DAY_SECONDS) / _DAY_SECONDS
+        factor = 1.0 + self.diurnal_amplitude * np.sin(phase)
+        return np.maximum(profile.min_items, np.round(base * factor)).astype(np.int64)
+
+    def generate_batch(self, timestamps: np.ndarray) -> list[Request]:
+        """Draw one request per timestamp with bulk per-table RNG calls.
+
+        The per-request assembly below deliberately iterates over plain
+        Python lists (``.tolist()``): models carry hundreds of tables, so
+        element-wise numpy indexing would dominate the bulk-draw win.
+        """
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        count = len(timestamps)
+        if count == 0:
+            return []
+        num_items = self._bulk_items(timestamps)
+        ts_list = timestamps.tolist()
+        requests = [
+            Request(i, ts_list[i], items, {})
+            for i, items in enumerate(num_items.tolist())
+        ]
+
+        total_items = int(num_items.sum())
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(num_items, out=offsets[1:])
+        offset_list = offsets.tolist()
+
+        for table in self.model.tables:
+            name = table.name
+            if table.scope is FeatureScope.USER:
+                activated = (
+                    self._rng(name, "activation").random(size=count)
+                    < table.activation_prob
+                )
+                if table.deterministic_ids:
+                    fixed = max(1, int(round(table.mean_ids)))
+                    for i in np.nonzero(activated)[0].tolist():
+                        requests[i].draws[name] = SparseFeatureDraw(name, fixed)
+                else:
+                    counts = self._rng(name, "counts").poisson(
+                        table.mean_ids, size=count
+                    )
+                    present = activated & (counts > 0)
+                    chosen = counts[present].tolist()
+                    for i, total in zip(np.nonzero(present)[0].tolist(), chosen):
+                        requests[i].draws[name] = SparseFeatureDraw(name, total)
+            else:
+                rate = table.activation_prob * table.mean_ids
+                flat = self._rng(name, "per-item").poisson(rate, size=total_items)
+                totals = np.add.reduceat(flat, offsets[:-1])
+                present = totals > 0
+                for i, total in zip(
+                    np.nonzero(present)[0].tolist(), totals[present].tolist()
+                ):
+                    # Copy, don't view: a view would pin each table's whole
+                    # scratch buffer, ballooning memory and defeating the
+                    # allocator's buffer reuse across tables.
+                    requests[i].draws[name] = SparseFeatureDraw(
+                        name, total, flat[offset_list[i] : offset_list[i + 1]].copy()
+                    )
+        return requests
+
     def generate_many(self, count: int, window_days: float = 5.0) -> list[Request]:
         """Sample ``count`` requests evenly across the sampling window."""
         timestamps = np.linspace(0.0, window_days * _DAY_SECONDS, count, endpoint=False)
-        return [self.generate(i, float(t)) for i, t in enumerate(timestamps)]
+        return self.generate_batch(timestamps)
+
+    def table_totals(self, count: int, window_days: float = 5.0) -> dict[str, float]:
+        """Aggregate id counts per table over ``count`` requests.
+
+        Equivalent to summing ``draw.total_ids`` over
+        :meth:`generate_many`'s output, without materializing any
+        :class:`Request` -- the fast path for pooling-factor estimation.
+        """
+        timestamps = np.linspace(0.0, window_days * _DAY_SECONDS, count, endpoint=False)
+        num_items = self._bulk_items(timestamps)
+        totals: dict[str, float] = {}
+        for table in self.model.tables:
+            name = table.name
+            if table.scope is FeatureScope.USER:
+                activated = (
+                    self._rng(name, "activation").random(size=count)
+                    < table.activation_prob
+                )
+                if table.deterministic_ids:
+                    fixed = max(1, int(round(table.mean_ids)))
+                    totals[name] = float(fixed * int(activated.sum()))
+                else:
+                    counts = self._rng(name, "counts").poisson(table.mean_ids, size=count)
+                    totals[name] = float(counts[activated].sum())
+            else:
+                rate = table.activation_prob * table.mean_ids
+                flat = self._rng(name, "per-item").poisson(rate, size=int(num_items.sum()))
+                totals[name] = float(flat.sum())
+        return totals
 
 
 def request_payload_bytes(model: ModelConfig, request: Request) -> float:

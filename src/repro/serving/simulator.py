@@ -125,7 +125,7 @@ class SimServer:
         return (start - self.engine.now) + wire
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Batch:
     index: int
     start_item: int
@@ -136,7 +136,7 @@ class _Batch:
         return self.stop_item - self.start_item
 
 
-@dataclass
+@dataclass(slots=True)
 class _ShardLookups:
     """Active lookups routed to one shard for one (batch, net) RPC."""
 
@@ -189,6 +189,25 @@ class ClusterSimulation:
         ]
         self.completed: dict[int, float] = {}
         self.on_complete: Callable[[int], None] | None = None
+
+        # Precomputed RPC routing: for each net, the shards holding at
+        # least one of its tables, with that net's (table, assignment)
+        # pairs.  ``_rpc_targets`` runs once per (batch, net) on the hot
+        # path and must not rediscover the placement every time.
+        self._net_routing: dict[str, list[tuple[ShardSpec, list]]] = {}
+        if not plan.is_singular:
+            for net_cfg in model.nets:
+                routing = []
+                for shard in plan.shards:
+                    pairs = [
+                        (table, assignment)
+                        for assignment in shard.assignments
+                        if (table := model.table(assignment.table_name)).net
+                        == net_cfg.name
+                    ]
+                    if pairs:
+                        routing.append((shard, pairs))
+                self._net_routing[net_cfg.name] = routing
 
     # -- span helper -------------------------------------------------------
     def _span(
@@ -255,30 +274,41 @@ class ClusterSimulation:
     ) -> list[_ShardLookups]:
         """Active per-shard lookup sets for one (batch, net) RPC fan-out."""
         targets = []
-        for shard in self.plan.shards_for_net(self.model, net_name):
+        draws = request.draws
+        # A row-partitioned table appears on every partition's shard; its
+        # batch slice and multinomial split are identical each time (the
+        # split substream is keyed, not stateful), so compute them once.
+        slice_counts: dict[str, int] = {}
+        splits: dict[tuple[str, int], np.ndarray] = {}
+        for shard, pairs in self._net_routing[net_name]:
             entry = _ShardLookups(shard=shard)
-            for assignment in shard.assignments:
-                table = self.model.table(assignment.table_name)
-                if table.net != net_name:
-                    continue
-                draw = request.draws.get(table.name)
+            lookups = entry.lookups
+            segments = 1
+            for table, assignment in pairs:
+                draw = draws.get(table.name)
                 if draw is None:
                     continue
-                count = draw.ids_in_slice(batch.start_item, batch.stop_item)
+                count = slice_counts.get(table.name)
+                if count is None:
+                    count = draw.ids_in_slice(batch.start_item, batch.stop_item)
+                    slice_counts[table.name] = count
                 if count == 0:
                     continue
                 if assignment.num_parts > 1:
-                    split = self._partition_split(
-                        request, table, count, assignment.num_parts
-                    )
+                    split_key = (table.name, assignment.num_parts)
+                    split = splits.get(split_key)
+                    if split is None:
+                        split = self._partition_split(
+                            request, table, count, assignment.num_parts
+                        )
+                        splits[split_key] = split
                     count = int(split[assignment.part_index])
                     if count == 0:
                         continue
-                entry.lookups.append((table, count))
-                entry.segments = max(
-                    entry.segments,
-                    batch.items if table.scope is FeatureScope.ITEM else 1,
-                )
+                lookups.append((table, count))
+                if table.scope is FeatureScope.ITEM and batch.items > segments:
+                    segments = batch.items
+            entry.segments = segments
             targets.append(entry)
         return targets
 
@@ -298,13 +328,13 @@ class ClusterSimulation:
             main.platform,
             tables=len(request.draws),
         )
-        yield engine.timeout(deser)
+        yield deser
         self._span(
             request, MAIN_SHARD, main, Layer.SERDE, "request_deser",
             t0, engine.now, cpu=deser,
         )
         t0 = engine.now
-        yield engine.timeout(cm.request_handler_fixed)
+        yield cm.request_handler_fixed
         handler_cpu = cm.request_handler_fixed
         main.workers.release()
 
@@ -317,12 +347,12 @@ class ClusterSimulation:
         yield main.workers.acquire()
         t0 = engine.now
         ser = cm.serde_time(ranking_response_bytes(request.num_items), main.platform)
-        yield engine.timeout(ser)
+        yield ser
         self._span(
             request, MAIN_SHARD, main, Layer.SERDE, "response_ser",
             t0, engine.now, cpu=ser,
         )
-        yield engine.timeout(cm.response_handler_fixed)
+        yield cm.response_handler_fixed
         handler_cpu += cm.response_handler_fixed
         main.workers.release()
 
@@ -354,7 +384,7 @@ class ClusterSimulation:
                     table.name for t in active_rpcs for table, _ in t.lookups
                 }
                 overhead += cm.fill_per_table * (len(net_tables) - len(active_names))
-            yield engine.timeout(overhead)
+            yield overhead
             self._span(
                 request, MAIN_SHARD, main, Layer.NET_OVERHEAD, "net_sched",
                 t0, engine.now, cpu=overhead, net=net_cfg.name, batch=batch.index,
@@ -363,7 +393,7 @@ class ClusterSimulation:
             dense_total = cm.dense_time(net_cfg, batch.items, main.platform)
             t0 = engine.now
             pre = dense_total * cm.dense_pre_fraction
-            yield engine.timeout(pre)
+            yield pre
             self._span(
                 request, MAIN_SHARD, main, Layer.OPERATOR, "dense_pre",
                 t0, engine.now, cpu=pre,
@@ -377,7 +407,7 @@ class ClusterSimulation:
 
             t0 = engine.now
             post = dense_total - pre
-            yield engine.timeout(post)
+            yield post
             self._span(
                 request, MAIN_SHARD, main, Layer.OPERATOR, "dense_post",
                 t0, engine.now, cpu=post,
@@ -396,7 +426,7 @@ class ClusterSimulation:
         dispatched = len(self.model.tables_for_net(net_name))
         work = cm.sls_time(lookups, main.platform, dispatched_tables=dispatched)
         t0 = engine.now
-        yield engine.timeout(work)
+        yield work
         self._span(
             request, MAIN_SHARD, main, Layer.OPERATOR, "sls_local",
             t0, engine.now, cpu=work,
@@ -424,7 +454,7 @@ class ClusterSimulation:
             ser = cm.serde_time(
                 req_bytes, main.platform, tables=len(target.lookups), client_side=True
             )
-            yield engine.timeout(ser + cm.rpc_dispatch_fixed)
+            yield ser + cm.rpc_dispatch_fixed
             self._span(
                 request, MAIN_SHARD, main, Layer.SERDE, "rpc_request_ser",
                 t0, engine.now, cpu=ser + cm.rpc_dispatch_fixed,
@@ -469,22 +499,22 @@ class ClusterSimulation:
         out_delay = main.egress_delay(req_bytes) + self.fabric.one_way_delay(
             main.platform, server.platform, 0.0
         )
-        yield engine.timeout(out_delay)
+        yield out_delay
 
         t_service = engine.now
         yield server.workers.acquire()
         t0 = engine.now
         deser = cm.serde_time(req_bytes, server.platform, tables=len(target.lookups))
-        yield engine.timeout(deser)
+        yield deser
         self._span(
             request, target.shard.index, server, Layer.SERDE, "rpc_deser",
             t0, engine.now, cpu=deser, net=net_name, batch=batch.index, rpc_id=rpc_id,
         )
-        yield engine.timeout(cm.rpc_service_fixed)
+        yield cm.rpc_service_fixed
 
         t0 = engine.now
         overhead = cm.net_overhead(len(target.lookups) + 2)
-        yield engine.timeout(overhead)
+        yield overhead
         self._span(
             request, target.shard.index, server, Layer.NET_OVERHEAD, "net_sched",
             t0, engine.now, cpu=overhead, net=net_name, batch=batch.index, rpc_id=rpc_id,
@@ -492,7 +522,7 @@ class ClusterSimulation:
 
         t0 = engine.now
         work = cm.sls_time(target.lookups, server.platform)
-        yield engine.timeout(work)
+        yield work
         self._span(
             request, target.shard.index, server, Layer.OPERATOR, "sls_remote",
             t0, engine.now, cpu=work,
@@ -501,7 +531,7 @@ class ClusterSimulation:
 
         t0 = engine.now
         ser = cm.serde_time(resp_bytes, server.platform, tables=len(target.lookups))
-        yield engine.timeout(ser)
+        yield ser
         self._span(
             request, target.shard.index, server, Layer.SERDE, "rpc_resp_ser",
             t0, engine.now, cpu=ser, net=net_name, batch=batch.index, rpc_id=rpc_id,
@@ -516,7 +546,7 @@ class ClusterSimulation:
         back_delay = server.egress_delay(resp_bytes) + self.fabric.one_way_delay(
             server.platform, main.platform, 0.0
         )
-        yield engine.timeout(back_delay)
+        yield back_delay
         self._span(
             request, MAIN_SHARD, main, Layer.RPC_CLIENT, "rpc_outstanding",
             t_client, engine.now,
@@ -529,7 +559,7 @@ class ClusterSimulation:
         deser = cm.serde_time(
             resp_bytes, main.platform, tables=len(target.lookups), client_side=True
         )
-        yield engine.timeout(deser)
+        yield deser
         self._span(
             request, MAIN_SHARD, main, Layer.SERDE, "rpc_response_deser",
             t0, engine.now, cpu=deser, net=net_name, batch=batch.index, rpc_id=rpc_id,
@@ -557,7 +587,7 @@ class ClusterSimulation:
         def driver():
             previous = 0.0
             for request, at in zip(requests, arrivals):
-                yield self.engine.timeout(at - previous)
+                yield float(at - previous)
                 previous = at
                 self.submit(request)
 

@@ -25,6 +25,17 @@ from repro.models.config import FeatureScope, NetConfig, TableConfig
 from repro.simulation.platform import Platform
 
 
+def _sls_per_id(
+    table: TableConfig, platform: Platform, overlap: float, dequant: float
+) -> float:
+    """Per-id lookup cost.  Deliberately not memoized: hashing the frozen
+    dataclass keys costs more than these few multiplications."""
+    lines = max(1, -(-int(table.dim * table.dtype.bytes_per_element) // 64))
+    chain = platform.dram_access_ns * NS * lines * overlap
+    extra = dequant if table.dtype.row_overhead_bytes else 0.0
+    return chain + extra
+
+
 @dataclass(frozen=True)
 class CostModel:
     """Tunable constants for the serving cost model."""
@@ -118,10 +129,7 @@ class CostModel:
 
     def sls_per_id(self, table: TableConfig, platform: Platform) -> float:
         """Cost of one pooled lookup id: a dependent cache-line chain."""
-        lines = max(1, -(-int(table.dim * table.dtype.bytes_per_element) // 64))
-        chain = platform.dram_access_ns * NS * lines * self.sls_dram_overlap
-        extra = self.dequant_per_id if table.dtype.row_overhead_bytes else 0.0
-        return chain + extra
+        return _sls_per_id(table, platform, self.sls_dram_overlap, self.dequant_per_id)
 
     def sls_time(
         self,
@@ -138,7 +146,10 @@ class CostModel:
         dispatch = self.sls_dispatch_per_table * (
             dispatched_tables if dispatched_tables is not None else len(lookups)
         )
-        gather = sum(count * self.sls_per_id(table, platform) for table, count in lookups)
+        overlap, dequant = self.sls_dram_overlap, self.dequant_per_id
+        gather = 0.0
+        for table, count in lookups:
+            gather += count * _sls_per_id(table, platform, overlap, dequant)
         return dispatch + gather
 
     def net_overhead(self, num_ops: int) -> float:

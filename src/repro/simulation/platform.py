@@ -15,6 +15,7 @@ scales with core clock.  The specs below encode that distinction.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.types import GIB
@@ -44,7 +45,7 @@ class Platform:
     dram_access_ns: float
     nic_bandwidth: float
 
-    @property
+    @functools.cached_property
     def relative_clock(self) -> float:
         """Clock relative to SC-Large; scales CPU-bound cost terms."""
         return self.clock_ghz / SC_LARGE.clock_ghz

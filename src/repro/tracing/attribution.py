@@ -46,7 +46,7 @@ class AttributionError(ValueError):
     """Raised when a request's spans are structurally incomplete."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestAttribution:
     """Fully attributed measurements for one request."""
 

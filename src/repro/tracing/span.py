@@ -51,9 +51,14 @@ class Layer(enum.Enum):
     """One batch's end-to-end execution window on the main shard."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One instrumented interval of one request."""
+    """One instrumented interval of one request.
+
+    ``slots=True``: simulations allocate one Span per instrumented
+    interval (hundreds per request), so the per-instance dict is worth
+    eliminating -- see ``benchmarks/test_perf_throughput.py``.
+    """
 
     request_id: int
     shard: int

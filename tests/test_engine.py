@@ -265,8 +265,71 @@ def test_yielding_non_event_raises():
     engine = Engine()
 
     def proc():
-        yield 1.0  # not an Event
+        yield "1.0"  # neither an Event nor a float/int delay
 
     engine.process(proc())
     with pytest.raises(SimulationError):
         engine.run()
+
+
+def test_yielding_plain_delay_advances_clock():
+    """The fast path: ``yield delay`` behaves like ``yield timeout(delay)``."""
+    engine = Engine()
+    seen = []
+
+    def proc():
+        yield 1.5
+        seen.append(engine.now)
+        yield 2
+        seen.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert seen == [1.5, 3.5]
+
+
+def test_yielding_numpy_scalar_delay_works():
+    """np.float64 leaking out of array math must behave like a float."""
+    import numpy as np
+
+    engine = Engine()
+    seen = []
+
+    def proc():
+        yield np.float64(2.5)
+        seen.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert seen == [2.5]
+
+
+def test_yielding_negative_delay_raises():
+    engine = Engine()
+
+    def proc():
+        yield -0.1
+
+    engine.process(proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_plain_delay_orders_like_timeout():
+    """A float yield takes the same sequence slot as an explicit Timeout."""
+    engine = Engine()
+    order = []
+
+    def via_timeout(tag):
+        yield engine.timeout(1.0)
+        order.append(tag)
+
+    def via_float(tag):
+        yield 1.0
+        order.append(tag)
+
+    engine.process(via_timeout("a"))
+    engine.process(via_float("b"))
+    engine.process(via_timeout("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]

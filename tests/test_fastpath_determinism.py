@@ -1,0 +1,185 @@
+"""Determinism regression tests for the simulation fast path.
+
+The fast path must be *exactly* the slow path, faster:
+
+* the vectorized bulk request generator and the scalar reference path
+  must draw identical requests from the same seed;
+* a parallel sweep must be byte-identical to a serial one (same e2e/cpu
+  arrays, same attribution stacks) for the same settings;
+* pooling-factor memoization must not change estimates;
+* columnar ``RunResult`` storage must agree with the retained
+  per-request attributions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SuiteSettings,
+    run_suite,
+    run_suite_parallel,
+)
+from repro.models import drm1, drm3
+from repro.requests import RequestGenerator
+from repro.requests.generator import _DAY_SECONDS
+from repro.serving import ServingConfig
+from repro.sharding import estimate_pooling_factors
+from repro.sharding.pooling import clear_pooling_cache
+
+SETTINGS = SuiteSettings(
+    num_requests=25, pooling_requests=120, serving=ServingConfig(seed=1)
+)
+
+
+def _assert_requests_equal(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.request_id == rb.request_id
+        assert ra.timestamp == rb.timestamp
+        assert ra.num_items == rb.num_items
+        assert set(ra.draws) == set(rb.draws)
+        for name, da in ra.draws.items():
+            db = rb.draws[name]
+            assert da.total_ids == db.total_ids
+            if da.per_item_counts is None:
+                assert db.per_item_counts is None
+            else:
+                assert np.array_equal(da.per_item_counts, db.per_item_counts)
+
+
+class TestGeneratorEquivalence:
+    @pytest.mark.parametrize("model_factory", [drm1, drm3])
+    def test_vectorized_matches_scalar(self, model_factory):
+        """Bulk numpy draws consume each substream exactly like the
+        scalar reference path."""
+        model = model_factory()
+        vectorized = RequestGenerator(model, seed=3).generate_many(60)
+        timestamps = np.linspace(0.0, 5.0 * _DAY_SECONDS, 60, endpoint=False)
+        scalar_gen = RequestGenerator(model, seed=3)
+        scalar = [
+            scalar_gen.generate(i, float(t)) for i, t in enumerate(timestamps)
+        ]
+        _assert_requests_equal(vectorized, scalar)
+
+    def test_generate_many_is_stable_across_calls(self):
+        model = drm1()
+        _assert_requests_equal(
+            RequestGenerator(model, seed=7).generate_many(30),
+            RequestGenerator(model, seed=7).generate_many(30),
+        )
+
+    def test_table_totals_matches_generated_requests(self):
+        model = drm1()
+        totals = RequestGenerator(model, seed=5).table_totals(40)
+        requests = RequestGenerator(model, seed=5).generate_many(40)
+        observed = {table.name: 0.0 for table in model.tables}
+        for request in requests:
+            for draw in request.draws.values():
+                observed[draw.table_name] += draw.total_ids
+        assert totals == observed
+
+
+class TestPoolingMemoization:
+    def test_memoized_estimate_is_equal_and_copied(self):
+        model = drm1()
+        clear_pooling_cache()
+        first = estimate_pooling_factors(model, num_requests=80, seed=9)
+        second = estimate_pooling_factors(model, num_requests=80, seed=9)
+        assert first == second
+        # Callers receive independent dicts: mutating one result must not
+        # poison the cache.
+        first[next(iter(first))] = -1.0
+        assert estimate_pooling_factors(model, num_requests=80, seed=9) == second
+
+    def test_distinct_keys_not_conflated(self):
+        model = drm1()
+        a = estimate_pooling_factors(model, num_requests=80, seed=9)
+        b = estimate_pooling_factors(model, num_requests=81, seed=9)
+        c = estimate_pooling_factors(model, num_requests=80, seed=10)
+        assert a != b and a != c
+
+
+class TestParallelSerialIdentity:
+    @pytest.fixture(scope="class")
+    def serial_results(self):
+        return run_suite(drm1(), SETTINGS)
+
+    def test_parallel_matches_serial_exactly(self, serial_results):
+        parallel_results = run_suite_parallel(drm1(), SETTINGS, max_workers=2)
+        assert list(parallel_results) == list(serial_results)
+        for label, serial in serial_results.items():
+            parallel = parallel_results[label]
+            assert np.array_equal(serial.e2e, parallel.e2e), label
+            assert np.array_equal(serial.cpu, parallel.cpu), label
+            for kind in ("latency", "embedded", "cpu"):
+                serial_cols = serial.stack_columns(kind)
+                parallel_cols = parallel.stack_columns(kind)
+                assert serial_cols.keys() == parallel_cols.keys()
+                for bucket in serial_cols:
+                    assert np.array_equal(
+                        serial_cols[bucket], parallel_cols[bucket]
+                    ), (label, kind, bucket)
+            for a, b in zip(serial.attributions, parallel.attributions):
+                assert a.latency_stack == b.latency_stack
+                assert a.embedded_stack == b.embedded_stack
+                assert a.cpu_stack == b.cpu_stack
+                assert a.per_shard_op_time == b.per_shard_op_time
+
+    def test_in_process_fallback_matches(self, serial_results):
+        fallback = run_suite_parallel(drm1(), SETTINGS, max_workers=1)
+        for label, serial in serial_results.items():
+            assert np.array_equal(serial.e2e, fallback[label].e2e), label
+
+
+class TestColumnarRunResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        results = run_suite(drm1(), SETTINGS)
+        return results["load-bal 2 shards"]
+
+    def test_columns_match_attributions(self, result):
+        assert len(result) == len(result.attributions) == 25
+        assert np.array_equal(
+            result.e2e, np.array([a.e2e for a in result.attributions])
+        )
+        assert np.array_equal(
+            result.cpu, np.array([a.cpu_total for a in result.attributions])
+        )
+        columns = result.stack_columns("latency")
+        for i, attribution in enumerate(result.attributions):
+            for bucket, value in attribution.latency_stack.items():
+                assert columns[bucket][i] == value
+
+    def test_embedded_totals_match(self, result):
+        expected = np.array([a.embedded_total for a in result.attributions])
+        assert np.allclose(result.embedded_totals, expected, rtol=1e-12, atol=0.0)
+
+    def test_row_views_rebuild_equal_dicts(self, result):
+        stacks = result.cpu_stacks()
+        assert len(stacks) == 25
+        for stack, attribution in zip(stacks, result.attributions):
+            assert stack == attribution.cpu_stack
+
+    def test_growth_beyond_initial_capacity(self):
+        small = SuiteSettings(
+            num_requests=40, pooling_requests=120, serving=ServingConfig(seed=1)
+        )
+        from repro.experiments import ShardingConfiguration, build_plan, run_configuration, suite_requests
+        from repro.experiments.runner import RunResult
+
+        model = drm1()
+        requests = suite_requests(model, small)
+        plan = build_plan(model, ShardingConfiguration("singular"))
+        result = RunResult(model.name, plan.label, plan, expected_requests=4)
+        from repro.serving.simulator import ClusterSimulation
+        from repro.tracing.attribution import attribute_request
+
+        cluster = ClusterSimulation(model, plan, ServingConfig(seed=1))
+        cluster.on_complete = lambda rid: result.add(
+            attribute_request(cluster.tracer.pop_request(rid))
+        )
+        cluster.run_serial(requests)
+        assert len(result) == 40
+        assert np.array_equal(
+            result.e2e, np.array([a.e2e for a in result.attributions])
+        )
