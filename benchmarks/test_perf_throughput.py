@@ -1,16 +1,25 @@
 """Simulation fast-path throughput benchmark (``BENCH_throughput.json``).
 
-Times the three stages the fast path optimized -- request generation,
-the DES sweep itself, and the parallel sweep runner -- and records
+Times the stages the fast path optimized -- request generation, the DES
+sweep in both trace modes, and the parallel sweep runner -- and records
 simulated-requests-per-second into ``results/BENCH_throughput.json`` via
 :func:`repro.analysis.bench.record_benchmark`.  CI uploads the JSON as an
 artifact; comparing it across commits is the perf-regression trajectory
 for the experiment pipeline.
 
+``REPRO_TRACE_MODE`` (``full``/``aggregate``, default ``full``) selects
+the trace mode of the *parallel* sweep and suffixes the artifact name
+(``BENCH_throughput_aggregate.json`` for the aggregate run), so CI can
+record both trajectories side by side.  The serial sweep is always timed
+in both modes: the ``aggregate_sweep`` entry tracks the span-free fast
+path and its speedup over full tracing.
+
 ``SEED_SWEEP_RPS`` is the measured throughput of the pre-fast-path code
 (the v0 seed commit) for the identical DRM1 paper sweep on the reference
 dev container; ``speedup_vs_seed`` in the artifact is relative to it and
-is only meaningful on comparable hardware.
+is only meaningful on comparable hardware.  ``PR1_FULL_TRACE_RPS`` is the
+same sweep measured at the PR 1 commit (full tracing, REPRO_REQUESTS=2000)
+and anchors the aggregate-mode speedup claim.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ from repro.experiments.parallel import default_workers
 from repro.sharding.pooling import estimate_pooling_factors
 from repro.models import drm1
 from repro.requests import RequestGenerator
-from repro.serving import ServingConfig
+from repro.serving import ServingConfig, TraceMode
 from repro.tracing.span import MAIN_SHARD, Layer, Span
 
 from conftest import BENCH_REQUESTS
@@ -42,6 +51,12 @@ from conftest import BENCH_REQUESTS
 #: the commit introducing this benchmark, before the fast path landed).
 SEED_SWEEP_RPS = 85.5
 SEED_SWEEP_REQUESTS = 500
+
+#: PR 1 reference: the same sweep with full tracing at REPRO_REQUESTS=2000
+#: ran at 575 simulated requests/second on the reference dev container
+#: (measured at the PR 1 commit, before aggregate tracing landed).
+PR1_FULL_TRACE_RPS = 575.0
+PR1_FULL_TRACE_REQUESTS = 2000
 
 #: Request count for the generator microbenchmark (generation is orders of
 #: magnitude faster than simulation, so it needs a bigger sample to time).
@@ -85,6 +100,12 @@ def test_perf_throughput():
     settings = SuiteSettings(
         num_requests=BENCH_REQUESTS, serving=ServingConfig(seed=1)
     )
+    trace_mode = TraceMode(os.environ.get("REPRO_TRACE_MODE", "full"))
+    aggregate_settings = SuiteSettings(
+        num_requests=BENCH_REQUESTS,
+        serving=ServingConfig(seed=1),
+        trace_mode=TraceMode.AGGREGATE,
+    )
 
     # 1. Request generation: vectorized bulk path vs scalar reference.
     vec_requests, vec_s = _time_best(
@@ -119,18 +140,33 @@ def test_perf_throughput():
     serial_rps = simulated / serial_s
     assert simulated == BENCH_REQUESTS * len(serial_results)
 
-    # 3. Parallel sweep runner (worker count depends on the host).
+    # 3. The same serial sweep with span-free aggregate tracing.  The
+    # columns must be bit-identical to full tracing (spot-checked here;
+    # exhaustively regression-tested in tests/test_trace_modes.py).
+    aggregate_results, aggregate_s = _time(
+        lambda: run_suite(model, aggregate_settings)
+    )
+    aggregate_rps = simulated / aggregate_s
+    for label, full_result in serial_results.items():
+        assert np.array_equal(full_result.e2e, aggregate_results[label].e2e)
+        assert np.array_equal(full_result.cpu, aggregate_results[label].cpu)
+
+    # 4. Parallel sweep runner (worker count depends on the host).
     workers = default_workers()
+    parallel_settings = (
+        aggregate_settings if trace_mode is TraceMode.AGGREGATE else settings
+    )
     parallel_results, parallel_s = _time(
-        lambda: run_suite_parallel(model, settings, max_workers=workers)
+        lambda: run_suite_parallel(model, parallel_settings, max_workers=workers)
     )
     parallel_rps = simulated / parallel_s
     assert list(parallel_results) == list(serial_results)
 
     span_bytes = _span_bytes_per_instance()
 
+    suffix = "" if trace_mode is TraceMode.FULL else f"_{trace_mode.value}"
     path = record_benchmark(
-        "throughput",
+        f"throughput{suffix}",
         {
             "bench_requests": BENCH_REQUESTS,
             "configurations": len(serial_results),
@@ -160,12 +196,33 @@ def test_perf_throughput():
                     else None
                 ),
             },
+            "aggregate_sweep": {
+                "simulated_requests": simulated,
+                "serial_wall_s": aggregate_s,
+                "serial_rps": aggregate_rps,
+                # Span-free tracing vs full tracing, same commit, same
+                # request sample -- the direct cost of materializing and
+                # attributing spans.
+                "speedup_vs_full_trace": aggregate_rps / serial_rps,
+                "pr1_reference_rps": PR1_FULL_TRACE_RPS,
+                "pr1_reference_requests": PR1_FULL_TRACE_REQUESTS,
+                # The sweep-cost claim of the aggregate fast path: only an
+                # apples-to-apples ratio at the request count the PR 1
+                # full-trace reference was measured at.
+                "speedup_vs_pr1_full_trace": (
+                    aggregate_rps / PR1_FULL_TRACE_RPS
+                    if BENCH_REQUESTS == PR1_FULL_TRACE_REQUESTS
+                    else None
+                ),
+            },
+            "parallel_trace_mode": trace_mode.value,
             "span_bytes_per_instance": span_bytes,
         },
     )
     print(
-        f"\n[bench] serial {serial_rps:.0f} req/s, parallel {parallel_rps:.0f} "
-        f"req/s ({workers} workers), gen speedup {gen_speedup:.1f}x, "
-        f"span {span_bytes:.0f} B -> {path}"
+        f"\n[bench] serial {serial_rps:.0f} req/s (full) / {aggregate_rps:.0f} "
+        f"req/s (aggregate, {aggregate_rps / serial_rps:.2f}x), parallel "
+        f"{parallel_rps:.0f} req/s ({workers} workers, {trace_mode.value}), "
+        f"gen speedup {gen_speedup:.1f}x, span {span_bytes:.0f} B -> {path}"
     )
-    assert serial_rps > 0 and parallel_rps > 0
+    assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0

@@ -34,6 +34,7 @@ def record_benchmark(
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "repro_requests": os.environ.get("REPRO_REQUESTS"),
+        "repro_trace_mode": os.environ.get("REPRO_TRACE_MODE"),
         "metrics": metrics,
     }
     return save_artifact(

@@ -28,6 +28,7 @@ from repro.serving.simulator import ClusterSimulation, ServingConfig
 from repro.sharding.plan import SINGULAR
 from repro.sharding.pooling import estimate_pooling_factors
 from repro.sharding.serialization import dump_plan
+from repro.tracing import TraceMode
 from repro.tracing.visualize import render_trace
 
 
@@ -36,6 +37,20 @@ def _add_model_argument(parser: argparse.ArgumentParser) -> None:
         "--model", default="DRM1", choices=sorted(MODEL_FACTORIES),
         help="zoo model to operate on",
     )
+
+
+def _add_trace_mode_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-mode", default=TraceMode.FULL.value,
+        choices=[mode.value for mode in TraceMode],
+        help="'full' materializes spans (per-shard breakdowns available); "
+        "'aggregate' is the span-free fast path with identical "
+        "latency/CPU/stack columns",
+    )
+
+
+def _trace_mode(args: argparse.Namespace) -> TraceMode:
+    return TraceMode(args.trace_mode)
 
 
 def _configuration(args: argparse.Namespace) -> ShardingConfiguration:
@@ -105,7 +120,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     plan = build_plan(model, _configuration(args), pooling)
     requests = RequestGenerator(model, seed=args.seed).generate_many(args.requests)
     result = run_configuration(
-        model, plan, requests, ServingConfig(seed=args.seed)
+        model, plan, requests,
+        ServingConfig(seed=args.seed, trace_mode=_trace_mode(args)),
     )
     rows = [
         (
@@ -128,7 +144,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_suite(args: argparse.Namespace) -> int:
     model = build(args.model)
     settings = SuiteSettings(
-        num_requests=args.requests, serving=ServingConfig(seed=args.seed)
+        num_requests=args.requests,
+        serving=ServingConfig(seed=args.seed),
+        trace_mode=_trace_mode(args),
     )
     if args.parallel or args.workers is not None:
         results = run_suite_parallel(model, settings, max_workers=args.workers)
@@ -198,12 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = commands.add_parser("simulate", help="simulate one configuration")
     add_plan_arguments(simulate)
     simulate.add_argument("--requests", type=int, default=150)
+    _add_trace_mode_argument(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     suite = commands.add_parser("suite", help="run the paper's config matrix")
     _add_model_argument(suite)
     suite.add_argument("--requests", type=int, default=120)
     suite.add_argument("--seed", type=int, default=1)
+    _add_trace_mode_argument(suite)
     suite.add_argument(
         "--parallel", action="store_true",
         help="fan configurations out over worker processes "

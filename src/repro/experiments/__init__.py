@@ -13,8 +13,14 @@ Sizing and throughput knobs
   :func:`~repro.experiments.parallel.run_suite_parallel`, which fans the
   configuration matrix out over ``multiprocessing`` and is byte-identical
   to the serial :func:`~repro.experiments.runner.run_suite`.
+* ``SuiteSettings.trace_mode`` / ``ServingConfig.trace_mode`` --
+  :class:`~repro.tracing.aggregate.TraceMode.AGGREGATE` runs sweeps with
+  the span-free tracer: identical e2e/cpu/stack columns, no retained
+  per-request attributions (so no per-shard breakdowns), and markedly
+  faster large sweeps.  The CLI exposes it as ``--trace-mode``.
 * ``results/BENCH_throughput.json`` -- simulated-requests-per-second
-  trajectory, rewritten by ``benchmarks/test_perf_throughput.py`` via
+  trajectory (full + aggregate trace modes), rewritten by
+  ``benchmarks/test_perf_throughput.py`` via
   :func:`repro.analysis.bench.record_benchmark`.
 """
 
@@ -34,12 +40,14 @@ from repro.experiments.runner import (
     suite_requests,
 )
 from repro.experiments import figures
+from repro.tracing.aggregate import TraceMode
 
 __all__ = [
     "PAPER_SHARD_COUNTS",
     "RunResult",
     "ShardingConfiguration",
     "SuiteSettings",
+    "TraceMode",
     "build_plan",
     "default_num_requests",
     "default_workers",

@@ -88,7 +88,7 @@ def run_suite_parallel(
     pooling = estimate_pooling_factors(
         model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
     )
-    context = (model, pooling, requests, settings.serving, settings.schedule)
+    context = (model, pooling, requests, settings.resolved_serving(), settings.schedule)
     workers = min(
         max_workers if max_workers is not None else default_workers(),
         len(configurations),

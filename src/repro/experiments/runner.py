@@ -20,6 +20,7 @@ from repro.requests.replayer import ReplayMode, ReplaySchedule
 from repro.serving.simulator import ClusterSimulation, ServingConfig
 from repro.sharding.plan import ShardingPlan
 from repro.sharding.pooling import estimate_pooling_factors
+from repro.tracing.aggregate import AggregatingTracer, TraceMode
 from repro.tracing.attribution import (
     CPU_BUCKETS,
     E2E_BUCKETS,
@@ -39,7 +40,26 @@ DEFAULT_REQUESTS = 200
 
 
 def default_num_requests() -> int:
-    return int(os.environ.get(REQUESTS_ENV, DEFAULT_REQUESTS))
+    """Request count per configuration: ``REPRO_REQUESTS`` if set.
+
+    Malformed or non-positive values fail fast with a message naming the
+    variable and the offending value, instead of a bare ``ValueError``
+    surfacing from ``int()`` deep inside a sweep.
+    """
+    raw = os.environ.get(REQUESTS_ENV)
+    if raw is None:
+        return DEFAULT_REQUESTS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{REQUESTS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{REQUESTS_ENV} must be >= 1, got {raw!r}"
+        )
+    return value
 
 
 class RunResult:
@@ -154,7 +174,28 @@ class RunResult:
     def cpu_stacks(self) -> list[dict[str, float]]:
         return self._stacks("cpu")
 
+    def adopt_aggregate(self, tracer: AggregatingTracer) -> None:
+        """Take over an :class:`AggregatingTracer`'s columnar output.
+
+        The tracer attributed every completed request straight into the
+        same column layout this class preallocates, so adoption is a
+        pointer handoff -- no per-request dataclasses were ever built.
+        ``attributions`` stays empty: per-shard breakdowns need FULL
+        traces (the per-shard means below return ``{}`` accordingly).
+        """
+        count, e2e, cpu, stack_cols = tracer.export_columns()
+        if set(stack_cols) != set(self._stack_cols):
+            raise ValueError("aggregate tracer columns do not match RunResult layout")
+        self._count = count
+        self._e2e = e2e
+        self._cpu = cpu
+        self._stack_cols = stack_cols
+
     def mean_per_shard_op_time(self) -> dict[int, float]:
+        """Mean per-shard sparse-operator time; ``{}`` without attributions
+        (zero completed requests, or AGGREGATE trace mode)."""
+        if not self.attributions:
+            return {}
         totals: dict[int, float] = {}
         for attribution in self.attributions:
             for shard, value in attribution.per_shard_op_time.items():
@@ -162,6 +203,10 @@ class RunResult:
         return {shard: v / len(self.attributions) for shard, v in sorted(totals.items())}
 
     def mean_per_shard_net_op_time(self) -> dict[tuple[int, str], float]:
+        """Mean per-(shard, net) operator time; ``{}`` without attributions
+        (zero completed requests, or AGGREGATE trace mode)."""
+        if not self.attributions:
+            return {}
         totals: dict[tuple[int, str], float] = {}
         for attribution in self.attributions:
             for key, value in attribution.per_shard_net_op_time.items():
@@ -176,25 +221,43 @@ def run_configuration(
     serving: ServingConfig | None = None,
     schedule: ReplaySchedule | None = None,
 ) -> RunResult:
-    """Simulate one configuration and attribute every request."""
+    """Simulate one configuration and attribute every request.
+
+    In ``TraceMode.FULL`` every completed request's spans are popped and
+    attributed into a retained :class:`RequestAttribution`; in
+    ``TraceMode.AGGREGATE`` the tracer attributes bucket sums straight
+    into the columnar arrays and the result adopts them wholesale --
+    identical columns, no span or dataclass retention.
+    """
     schedule = schedule or ReplaySchedule.serial()
-    cluster = ClusterSimulation(model, plan, serving)
+    aggregate = (serving or ServingConfig()).trace_mode is TraceMode.AGGREGATE
+    cluster = ClusterSimulation(
+        model, plan, serving,
+        tracer=AggregatingTracer(expected_requests=len(requests)) if aggregate else None,
+    )
     result = RunResult(
         model_name=model.name,
         label=plan.label,
         plan=plan,
-        expected_requests=len(requests),
+        # In aggregate mode the tracer owns the (right-sized) columns and
+        # the result adopts them, so don't preallocate a second set here.
+        expected_requests=0 if aggregate else len(requests),
     )
 
-    def on_complete(request_id: int) -> None:
-        spans = cluster.tracer.pop_request(request_id)
-        result.add(attribute_request(spans))
+    tracer = cluster.tracer
+    if isinstance(tracer, AggregatingTracer):
+        cluster.on_complete = tracer.finalize_request
+    else:
+        def on_complete(request_id: int) -> None:
+            result.add(attribute_request(tracer.pop_request(request_id)))
 
-    cluster.on_complete = on_complete
+        cluster.on_complete = on_complete
     if schedule.mode is ReplayMode.SERIAL:
         cluster.run_serial(requests)
     else:
         cluster.run_open_loop(requests, schedule)
+    if isinstance(tracer, AggregatingTracer):
+        result.adopt_aggregate(tracer)
     return result
 
 
@@ -208,9 +271,17 @@ class SuiteSettings:
     pooling_seed: int = 42
     serving: ServingConfig = field(default_factory=ServingConfig)
     schedule: ReplaySchedule = field(default_factory=ReplaySchedule.serial)
+    trace_mode: TraceMode | None = None
+    """Overrides ``serving.trace_mode`` when set; None keeps it."""
 
     def resolved_requests(self) -> int:
         return self.num_requests or default_num_requests()
+
+    def resolved_serving(self) -> ServingConfig:
+        """The serving config with the suite-level trace mode applied."""
+        if self.trace_mode is None or self.trace_mode is self.serving.trace_mode:
+            return self.serving
+        return self.serving.with_trace_mode(self.trace_mode)
 
 
 def suite_requests(model: ModelConfig, settings: SuiteSettings) -> list[Request]:
@@ -234,10 +305,11 @@ def run_suite(
     pooling = estimate_pooling_factors(
         model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
     )
+    serving = settings.resolved_serving()
     results: dict[str, RunResult] = {}
     for configuration in configurations:
         plan = build_plan(model, configuration, pooling)
         results[plan.label] = run_configuration(
-            model, plan, requests, settings.serving, settings.schedule
+            model, plan, requests, serving, settings.schedule
         )
     return results

@@ -35,6 +35,10 @@ class ReplaySchedule:
     def __post_init__(self):
         if self.mode is ReplayMode.OPEN_LOOP and self.qps <= 0:
             raise ValueError("open-loop replay requires qps > 0")
+        # Normalize so open_loop(25), open_loop(25.0), and numpy scalars
+        # are the same schedule: the arrival substream is keyed on qps,
+        # and equal rates must replay identical arrival processes.
+        object.__setattr__(self, "qps", float(self.qps))
 
     @classmethod
     def serial(cls) -> "ReplaySchedule":
@@ -52,6 +56,9 @@ class ReplaySchedule:
         """
         if self.mode is ReplayMode.SERIAL:
             return None
+        # qps is normalized to a Python float in __post_init__, so the
+        # substream key is canonical (shortest-roundtrip float repr) no
+        # matter how the rate was spelled at the call site.
         rng = substream(self.seed, "arrivals", self.qps)
         gaps = rng.exponential(1.0 / self.qps, size=count)
         return np.cumsum(gaps)

@@ -15,6 +15,7 @@ from repro.serving.paging import (
 )
 from repro.serving.simulator import ClusterSimulation, ServingConfig, SimServer
 from repro.serving.sla import SlaPolicy, SlaReport, evaluate_sla, sla_sweep
+from repro.tracing.aggregate import TraceMode
 
 __all__ = [
     "ClusterSimulation",
@@ -29,6 +30,7 @@ __all__ = [
     "SimServer",
     "SlaPolicy",
     "SlaReport",
+    "TraceMode",
     "evaluate_sla",
     "memory_efficiency_vs_singular",
     "plan_replication",

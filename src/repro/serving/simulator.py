@@ -15,15 +15,26 @@ DES kernel:
   shard-side service/framework/operator time, and response handling; RPCs
   with no active lookups are skipped entirely, which is why DRM3 touches
   only two shards per request regardless of shard count (Section VI-E1);
-* the cross-layer tracer records a span for every instrumented interval,
-  exactly like the paper's instrumentation hooks.
+* the cross-layer tracer records every instrumented interval, exactly
+  like the paper's instrumentation hooks.  ``TraceMode.FULL`` materializes
+  spans; ``TraceMode.AGGREGATE`` folds intervals into columnar bucket sums
+  span-free (bit-identical results, much cheaper sweeps).
 
 The simulator consumes *count-level* requests (no real ids): all costs are
 functions of id counts, table metadata, and bytes.
+
+Fast path: every cost a request will be charged is a pure function of
+(request, plan, cost model) -- none depends on simulation time -- so the
+per-(batch, net) RPC fan-outs, payload sizes, serde times, and SLS times
+are precomputed once per request (:meth:`ClusterSimulation._request_plans`)
+instead of being rediscovered inside the DES hot loop.  Precomputation
+reproduces the original per-span float-operation order exactly, so the
+refactor is byte-identical to the per-batch path it replaced.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -36,16 +47,22 @@ from repro.models.config import FeatureScope, ModelConfig, TableConfig
 from repro.requests.generator import Request, request_payload_bytes
 from repro.requests.replayer import ReplayMode, ReplaySchedule
 from repro.sharding.plan import ShardingPlan, ShardSpec
-from repro.simulation.costmodel import (
-    CostModel,
-    ranking_response_bytes,
-    rpc_request_bytes,
-    rpc_response_bytes,
-)
+from repro.simulation.costmodel import CostModel, ranking_response_bytes
 from repro.simulation.engine import Engine, Event
 from repro.simulation.network import Fabric, FabricSpec
 from repro.simulation.platform import SC_LARGE, Platform
-from repro.tracing.span import MAIN_SHARD, Layer, Span, Tracer
+from repro.tracing.aggregate import AggregatingTracer, TraceMode
+from repro.tracing.span import MAIN_SHARD, Layer, Tracer
+
+_SERDE = Layer.SERDE
+_OPERATOR = Layer.OPERATOR
+_NET_OVERHEAD = Layer.NET_OVERHEAD
+_RPC_CLIENT = Layer.RPC_CLIENT
+_EMBEDDED = Layer.EMBEDDED
+_BATCH = Layer.BATCH
+_SERVICE = Layer.SERVICE
+_DENSE = OpCategory.DENSE
+_SPARSE = OpCategory.SPARSE
 
 
 @dataclass(frozen=True)
@@ -77,18 +94,16 @@ class ServingConfig:
     """Stddev (seconds) of per-server wall-clock skew; trace timestamps are
     stamped with it, and attribution must stay skew-invariant."""
 
+    trace_mode: TraceMode = TraceMode.FULL
+    """FULL materializes spans (per-shard breakdowns available);
+    AGGREGATE accumulates columnar bucket sums span-free -- identical
+    e2e/cpu/stack columns, no retained attributions."""
+
     def with_batch_size(self, batch_size: int | None) -> "ServingConfig":
-        return ServingConfig(
-            main_platform=self.main_platform,
-            sparse_platform=self.sparse_platform,
-            cost_model=self.cost_model,
-            fabric_spec=self.fabric_spec,
-            seed=self.seed,
-            service_workers=self.service_workers,
-            batch_size=batch_size,
-            max_batches=self.max_batches,
-            clock_skew_sigma=self.clock_skew_sigma,
-        )
+        return dataclasses.replace(self, batch_size=batch_size)
+
+    def with_trace_mode(self, trace_mode: TraceMode) -> "ServingConfig":
+        return dataclasses.replace(self, trace_mode=trace_mode)
 
 
 class SimServer:
@@ -136,17 +151,35 @@ class _Batch:
         return self.stop_item - self.start_item
 
 
-@dataclass(slots=True)
 class _ShardLookups:
-    """Active lookups routed to one shard for one (batch, net) RPC."""
+    """One active (batch, net, shard) RPC with all its precomputed costs."""
 
-    shard: ShardSpec
-    lookups: list[tuple[TableConfig, int]] = field(default_factory=list)
-    segments: int = 1
+    __slots__ = (
+        "shard",
+        "req_bytes",
+        "resp_bytes",
+        "client_ser_total",
+        "server_deser",
+        "server_overhead",
+        "sls_work",
+        "server_resp_ser",
+        "client_resp_deser",
+    )
 
-    @property
-    def active(self) -> bool:
-        return bool(self.lookups)
+    def __init__(self, shard: ShardSpec):
+        self.shard = shard
+
+
+class _NetBatchPlan:
+    """Precomputed execution plan for one (request, net, batch)."""
+
+    __slots__ = ("overhead", "dense_total", "targets", "local_work")
+
+    def __init__(self, overhead: float, dense_total: float, targets, local_work: float):
+        self.overhead = overhead
+        self.dense_total = dense_total
+        self.targets = targets
+        self.local_work = local_work
 
 
 class ClusterSimulation:
@@ -157,13 +190,21 @@ class ClusterSimulation:
         model: ModelConfig,
         plan: ShardingPlan,
         config: ServingConfig | None = None,
-        tracer: Tracer | None = None,
+        tracer: Tracer | AggregatingTracer | None = None,
     ):
         plan.validate(model)
         self.model = model
         self.plan = plan
         self.config = config or ServingConfig()
-        self.tracer = tracer or Tracer()
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.trace_mode is TraceMode.AGGREGATE:
+            self.tracer = AggregatingTracer()
+        else:
+            self.tracer = Tracer()
+        #: The single hot-path recording entry point; both tracers share
+        #: the ``record_interval`` signature (engine times + server).
+        self._record = self.tracer.record_interval
         self.engine = Engine()
         self._rpc_ids = itertools.count()
         self._rng = substream(self.config.seed, "cluster", model.name, plan.label)
@@ -189,11 +230,12 @@ class ClusterSimulation:
         ]
         self.completed: dict[int, float] = {}
         self.on_complete: Callable[[int], None] | None = None
+        self.dropped_requests: list[int] = []
 
         # Precomputed RPC routing: for each net, the shards holding at
         # least one of its tables, with that net's (table, assignment)
-        # pairs.  ``_rpc_targets`` runs once per (batch, net) on the hot
-        # path and must not rediscover the placement every time.
+        # pairs.  The per-request plan builder walks this once per request
+        # and must not rediscover the placement every time.
         self._net_routing: dict[str, list[tuple[ShardSpec, list]]] = {}
         if not plan.is_singular:
             for net_cfg in model.nets:
@@ -209,31 +251,33 @@ class ClusterSimulation:
                         routing.append((shard, pairs))
                 self._net_routing[net_cfg.name] = routing
 
-    # -- span helper -------------------------------------------------------
-    def _span(
-        self,
-        request: Request,
-        shard: int,
-        server: SimServer,
-        layer: Layer,
-        name: str,
-        start: float,
-        end: float,
-        cpu: float = 0.0,
-        **extra,
-    ) -> None:
-        self.tracer.record(
-            Span(
-                request_id=request.request_id,
-                shard=shard,
-                server=server.name,
-                layer=layer,
-                name=name,
-                start=server.wall(start),
-                end=server.wall(end),
-                cpu_time=cpu,
-                **extra,
-            )
+        # Pure per-table / per-message cost constants, hoisted out of the
+        # hot loop.  All reproduce the exact float expressions of
+        # CostModel.serde_time / sls_time (same association order), so the
+        # precomputed plans are bit-identical to computing costs in-line.
+        cm = self.config.cost_model
+        main_platform = self.config.main_platform
+        sparse_platform = self.config.sparse_platform
+        self._per_id_main = {
+            table.name: cm.sls_per_id(table, main_platform) for table in model.tables
+        }
+        self._per_id_sparse = {
+            table.name: cm.sls_per_id(table, sparse_platform) for table in model.tables
+        }
+        max_tables = max(
+            (len(model.tables_for_net(net.name)) for net in model.nets), default=0
+        )
+        self._serde_tbl_client = [
+            (cm.client_serde_per_table * n) / main_platform.relative_clock
+            for n in range(max_tables + 1)
+        ]
+        self._serde_tbl_server = [
+            (cm.serde_per_table * n) / sparse_platform.relative_clock
+            for n in range(max_tables + 1)
+        ]
+        self._serde_denom_main = cm.serde_bytes_per_sec * main_platform.relative_clock
+        self._serde_denom_sparse = (
+            cm.serde_bytes_per_sec * sparse_platform.relative_clock
         )
 
     # -- batching ------------------------------------------------------------
@@ -255,62 +299,214 @@ class ClusterSimulation:
         )
         return rng.multinomial(count, [1.0 / parts] * parts)
 
-    def _lookups_for_batch(
-        self, request: Request, batch: _Batch, net_name: str
-    ) -> list[tuple[TableConfig, int]]:
-        """(table, ids) pairs a batch performs for one net (singular view)."""
-        lookups = []
-        for table in self.model.tables_for_net(net_name):
-            draw = request.draws.get(table.name)
-            if draw is None:
-                continue
-            count = draw.ids_in_slice(batch.start_item, batch.stop_item)
-            if count > 0:
-                lookups.append((table, count))
-        return lookups
+    def _slice_counts(self, draw, batches: list[_Batch]) -> list[int]:
+        """Per-batch id counts for one feature draw (cumsum, int-exact)."""
+        if draw.per_item_counts is None:
+            total = draw.total_ids
+            return [total] * len(batches)
+        cumulative = np.cumsum(draw.per_item_counts)
+        counts = []
+        for batch in batches:
+            hi = int(cumulative[batch.stop_item - 1]) if batch.stop_item > 0 else 0
+            lo = int(cumulative[batch.start_item - 1]) if batch.start_item > 0 else 0
+            counts.append(hi - lo)
+        return counts
 
-    def _rpc_targets(
-        self, request: Request, batch: _Batch, net_name: str
-    ) -> list[_ShardLookups]:
-        """Active per-shard lookup sets for one (batch, net) RPC fan-out."""
-        targets = []
-        draws = request.draws
-        # A row-partitioned table appears on every partition's shard; its
-        # batch slice and multinomial split are identical each time (the
-        # split substream is keyed, not stateful), so compute them once.
-        slice_counts: dict[str, int] = {}
-        splits: dict[tuple[str, int], np.ndarray] = {}
-        for shard, pairs in self._net_routing[net_name]:
-            entry = _ShardLookups(shard=shard)
-            lookups = entry.lookups
-            segments = 1
-            for table, assignment in pairs:
-                draw = draws.get(table.name)
-                if draw is None:
-                    continue
-                count = slice_counts.get(table.name)
-                if count is None:
-                    count = draw.ids_in_slice(batch.start_item, batch.stop_item)
-                    slice_counts[table.name] = count
-                if count == 0:
-                    continue
-                if assignment.num_parts > 1:
-                    split_key = (table.name, assignment.num_parts)
-                    split = splits.get(split_key)
-                    if split is None:
-                        split = self._partition_split(
-                            request, table, count, assignment.num_parts
-                        )
-                        splits[split_key] = split
-                    count = int(split[assignment.part_index])
-                    if count == 0:
+    def _cached_slice_counts(
+        self, request: Request, batches: list[_Batch]
+    ) -> dict[str, list[int]]:
+        """Per-table per-batch id counts, memoized on the request.
+
+        The batching policy is a sweep-wide constant, so every
+        configuration slices each request identically; the integer counts
+        are computed by the first configuration and reused by the rest.
+        """
+        key = (
+            self.config.batch_size or self.model.profile.batch_size,
+            self.config.max_batches,
+        )
+        counts = request.slice_count_cache.get(key)
+        if counts is None:
+            counts = {
+                name: self._slice_counts(draw, batches)
+                for name, draw in request.draws.items()
+            }
+            request.slice_count_cache[key] = counts
+        return counts
+
+    def _request_plans(self, request: Request, batches: list[_Batch]) -> dict[str, list[_NetBatchPlan]]:
+        """Precompute every (net, batch) execution plan for one request.
+
+        Pure function of (request, plan, cost model): RPC fan-outs, payload
+        sizes, serde/SLS/overhead times.  The partition-split substreams
+        are keyed (stateless), so drawing them here consumes no shared RNG
+        state and yields exactly the values the per-batch path drew.
+        """
+        cm = self.config.cost_model
+        singular = self.plan.is_singular
+        serde_fixed = cm.serde_fixed
+        dispatch_fixed = cm.rpc_dispatch_fixed
+        sls_dispatch = cm.sls_dispatch_per_table
+        tbl_client = self._serde_tbl_client
+        tbl_server = self._serde_tbl_server
+        denom_main = self._serde_denom_main
+        denom_sparse = self._serde_denom_sparse
+        per_id_main = self._per_id_main
+        per_id_sparse = self._per_id_sparse
+        main_platform = self.config.main_platform
+        all_counts = self._cached_slice_counts(request, batches)
+        nb = len(batches)
+        batch_range = range(nb)
+        items_per_batch = [batch.items for batch in batches]
+
+        plans: dict[str, list[_NetBatchPlan]] = {}
+        for net_cfg in self.model.nets:
+            net_name = net_cfg.name
+            net_tables = self.model.tables_for_net(net_name)
+            n_net_tables = len(net_tables)
+
+            if singular:
+                # Transposed accumulation (tables outer, batches inner)
+                # preserves the per-batch SLS gather order: each batch's
+                # sum still adds tables in tables_for_net order.
+                gather = [0.0] * nb
+                for table in net_tables:
+                    counts = all_counts.get(table.name)
+                    if counts is None:
                         continue
-                lookups.append((table, count))
-                if table.scope is FeatureScope.ITEM and batch.items > segments:
-                    segments = batch.items
-            entry.segments = segments
-            targets.append(entry)
-        return targets
+                    per_id = per_id_main[table.name]
+                    for b in batch_range:
+                        count = counts[b]
+                        if count > 0:
+                            gather[b] += count * per_id
+                overhead = cm.net_overhead(n_net_tables + 12)
+                dispatch = sls_dispatch * n_net_tables
+                plans[net_name] = [
+                    _NetBatchPlan(
+                        overhead,
+                        cm.dense_time(net_cfg, items_per_batch[b], main_platform),
+                        (),
+                        dispatch + gather[b],
+                    )
+                    for b in batch_range
+                ]
+                continue
+
+            routing = self._net_routing[net_name]
+            splits: dict[tuple[str, int, int], np.ndarray] = {}
+            batch_targets: list[list[_ShardLookups]] = [[] for _ in batch_range]
+            # Distinct active tables per batch (for the zero-fill term):
+            # a partitioned table with a nonzero slice count is active on
+            # at least one shard (a multinomial of a positive count has a
+            # positive part), so activity is per-table, not per-shard.
+            n_names = [0] * nb
+            for table in net_tables:
+                counts = all_counts.get(table.name)
+                if counts is None:
+                    continue
+                for b in batch_range:
+                    if counts[b] > 0:
+                        n_names[b] += 1
+            for shard, pairs in routing:
+                # Per-batch accumulators for this shard's RPC.  Integer
+                # payload terms are exact in float64 whatever the
+                # addition order; the float SLS gather keeps pair order
+                # per batch, identical to the lookup-list order.
+                ids = [0] * nb
+                ntab = [0] * nb
+                resp_extra = [0] * nb
+                gather = [0.0] * nb
+                has_item = [False] * nb
+                for table, assignment in pairs:
+                    counts = all_counts.get(table.name)
+                    if counts is None:
+                        continue
+                    per_id = per_id_sparse[table.name]
+                    is_item = table.scope is FeatureScope.ITEM
+                    dim4 = table.dim * 4
+                    if assignment.num_parts > 1:
+                        part_index = assignment.part_index
+                        num_parts = assignment.num_parts
+                        table_name = table.name
+                        for b in batch_range:
+                            count = counts[b]
+                            if count == 0:
+                                continue
+                            split_key = (table_name, num_parts, count)
+                            split = splits.get(split_key)
+                            if split is None:
+                                split = self._partition_split(
+                                    request, table, count, num_parts
+                                )
+                                splits[split_key] = split
+                            count = int(split[part_index])
+                            if count == 0:
+                                continue
+                            ids[b] += count
+                            ntab[b] += 1
+                            gather[b] += count * per_id
+                            if is_item:
+                                has_item[b] = True
+                                resp_extra[b] += 24 + items_per_batch[b] * dim4
+                            else:
+                                resp_extra[b] += 24 + dim4
+                    else:
+                        for b in batch_range:
+                            count = counts[b]
+                            if count == 0:
+                                continue
+                            ids[b] += count
+                            ntab[b] += 1
+                            gather[b] += count * per_id
+                            if is_item:
+                                has_item[b] = True
+                                resp_extra[b] += 24 + items_per_batch[b] * dim4
+                            else:
+                                resp_extra[b] += 24 + dim4
+                for b in batch_range:
+                    n_tables = ntab[b]
+                    if n_tables == 0:
+                        continue
+                    items = items_per_batch[b]
+                    segments = items if has_item[b] else 1
+                    # rpc_request_bytes / rpc_response_bytes, fused into
+                    # the accumulation above (integer-exact).
+                    req_bytes = 64.0 + ids[b] * 8.0 + n_tables * (
+                        segments * 4.0 + 24.0
+                    )
+                    resp_bytes = 64.0 + resp_extra[b]
+                    target = _ShardLookups(shard)
+                    target.req_bytes = req_bytes
+                    target.resp_bytes = resp_bytes
+                    target.client_ser_total = (
+                        serde_fixed
+                        + tbl_client[n_tables]
+                        + req_bytes / denom_main
+                        + dispatch_fixed
+                    )
+                    target.server_deser = (
+                        serde_fixed + tbl_server[n_tables] + req_bytes / denom_sparse
+                    )
+                    target.server_overhead = cm.net_overhead(n_tables + 2)
+                    target.sls_work = sls_dispatch * n_tables + gather[b]
+                    target.server_resp_ser = (
+                        serde_fixed + tbl_server[n_tables] + resp_bytes / denom_sparse
+                    )
+                    target.client_resp_deser = (
+                        serde_fixed + tbl_client[n_tables] + resp_bytes / denom_main
+                    )
+                    batch_targets[b].append(target)
+            per_batch = []
+            for b in batch_range:
+                targets = batch_targets[b]
+                overhead = cm.net_overhead(n_net_tables + 12 + len(targets))
+                overhead += cm.fill_per_table * (n_net_tables - n_names[b])
+                dense_total = cm.dense_time(
+                    net_cfg, items_per_batch[b], main_platform
+                )
+                per_batch.append(_NetBatchPlan(overhead, dense_total, targets, 0.0))
+            plans[net_name] = per_batch
+        return plans
 
     # -- request lifecycle -------------------------------------------------------
     def submit(self, request: Request) -> Event:
@@ -319,6 +515,8 @@ class ClusterSimulation:
 
     def _serve_request(self, request: Request):
         engine, cm, main = self.engine, self.config.cost_model, self.main
+        record = self._record
+        rid = request.request_id
         t_start = engine.now
 
         yield main.workers.acquire()
@@ -329,18 +527,17 @@ class ClusterSimulation:
             tables=len(request.draws),
         )
         yield deser
-        self._span(
-            request, MAIN_SHARD, main, Layer.SERDE, "request_deser",
-            t0, engine.now, cpu=deser,
-        )
+        record(rid, MAIN_SHARD, main, _SERDE, "request_deser", t0, engine.now, deser)
         t0 = engine.now
         yield cm.request_handler_fixed
         handler_cpu = cm.request_handler_fixed
         main.workers.release()
 
         batches = self._batches(request)
+        plans = self._request_plans(request, batches)
         batch_events = [
-            engine.process(self._run_batch(request, batch)) for batch in batches
+            engine.process(self._run_batch(request, batch, plans))
+            for batch in batches
         ]
         yield engine.all_of(batch_events)
 
@@ -348,125 +545,105 @@ class ClusterSimulation:
         t0 = engine.now
         ser = cm.serde_time(ranking_response_bytes(request.num_items), main.platform)
         yield ser
-        self._span(
-            request, MAIN_SHARD, main, Layer.SERDE, "response_ser",
-            t0, engine.now, cpu=ser,
-        )
+        record(rid, MAIN_SHARD, main, _SERDE, "response_ser", t0, engine.now, ser)
         yield cm.response_handler_fixed
         handler_cpu += cm.response_handler_fixed
         main.workers.release()
 
-        self._span(
-            request, MAIN_SHARD, main, Layer.SERVICE, "request_e2e",
-            t_start, engine.now, cpu=handler_cpu,
+        record(
+            rid, MAIN_SHARD, main, _SERVICE, "request_e2e",
+            t_start, engine.now, handler_cpu,
         )
-        self.completed[request.request_id] = engine.now - t_start
+        self.completed[rid] = engine.now - t_start
         if self.on_complete is not None:
-            self.on_complete(request.request_id)
+            self.on_complete(rid)
 
-    def _run_batch(self, request: Request, batch: _Batch):
+    def _run_batch(self, request: Request, batch: _Batch, plans: dict[str, list[_NetBatchPlan]]):
         engine, cm, main = self.engine, self.config.cost_model, self.main
+        record = self._record
+        rid = request.request_id
+        bindex = batch.index
+        singular = self.plan.is_singular
+        pre_fraction = cm.dense_pre_fraction
         t_batch = engine.now
         yield main.workers.acquire()
         for net_cfg in self.model.nets:
-            net_tables = self.model.tables_for_net(net_cfg.name)
-            rpc_targets = (
-                [] if self.plan.is_singular
-                else self._rpc_targets(request, batch, net_cfg.name)
-            )
-            active_rpcs = [t for t in rpc_targets if t.active]
-            num_ops = len(net_tables) + 12 + len(active_rpcs)
+            net_name = net_cfg.name
+            plan = plans[net_name][bindex]
 
             t0 = engine.now
-            overhead = cm.net_overhead(num_ops)
-            if not self.plan.is_singular:
-                active_names = {
-                    table.name for t in active_rpcs for table, _ in t.lookups
-                }
-                overhead += cm.fill_per_table * (len(net_tables) - len(active_names))
+            overhead = plan.overhead
             yield overhead
-            self._span(
-                request, MAIN_SHARD, main, Layer.NET_OVERHEAD, "net_sched",
-                t0, engine.now, cpu=overhead, net=net_cfg.name, batch=batch.index,
+            record(
+                rid, MAIN_SHARD, main, _NET_OVERHEAD, "net_sched",
+                t0, engine.now, overhead, None, net_name, bindex,
             )
 
-            dense_total = cm.dense_time(net_cfg, batch.items, main.platform)
             t0 = engine.now
-            pre = dense_total * cm.dense_pre_fraction
+            pre = plan.dense_total * pre_fraction
             yield pre
-            self._span(
-                request, MAIN_SHARD, main, Layer.OPERATOR, "dense_pre",
-                t0, engine.now, cpu=pre,
-                category=OpCategory.DENSE, net=net_cfg.name, batch=batch.index,
+            record(
+                rid, MAIN_SHARD, main, _OPERATOR, "dense_pre",
+                t0, engine.now, pre, _DENSE, net_name, bindex,
             )
 
-            if self.plan.is_singular:
-                yield from self._local_sparse(request, batch, net_cfg.name)
+            if singular:
+                yield from self._local_sparse(request, bindex, net_name, plan.local_work)
             else:
-                yield from self._remote_sparse(request, batch, net_cfg.name, active_rpcs)
+                yield from self._remote_sparse(request, bindex, net_name, plan.targets)
 
             t0 = engine.now
-            post = dense_total - pre
+            post = plan.dense_total - pre
             yield post
-            self._span(
-                request, MAIN_SHARD, main, Layer.OPERATOR, "dense_post",
-                t0, engine.now, cpu=post,
-                category=OpCategory.DENSE, net=net_cfg.name, batch=batch.index,
+            record(
+                rid, MAIN_SHARD, main, _OPERATOR, "dense_post",
+                t0, engine.now, post, _DENSE, net_name, bindex,
             )
         main.workers.release()
-        self._span(
-            request, MAIN_SHARD, main, Layer.BATCH, f"batch_{batch.index}",
-            t_batch, engine.now, batch=batch.index,
+        record(
+            rid, MAIN_SHARD, main, _BATCH, f"batch_{bindex}",
+            t_batch, engine.now, 0.0, None, None, bindex,
         )
 
-    def _local_sparse(self, request: Request, batch: _Batch, net_name: str):
+    def _local_sparse(self, request: Request, bindex: int, net_name: str, work: float):
         """Singular configuration: SLS ops execute inline on the main shard."""
-        engine, cm, main = self.engine, self.config.cost_model, self.main
-        lookups = self._lookups_for_batch(request, batch, net_name)
-        dispatched = len(self.model.tables_for_net(net_name))
-        work = cm.sls_time(lookups, main.platform, dispatched_tables=dispatched)
+        engine, main = self.engine, self.main
+        record = self._record
+        rid = request.request_id
         t0 = engine.now
         yield work
-        self._span(
-            request, MAIN_SHARD, main, Layer.OPERATOR, "sls_local",
-            t0, engine.now, cpu=work,
-            category=OpCategory.SPARSE, net=net_name, batch=batch.index,
+        record(
+            rid, MAIN_SHARD, main, _OPERATOR, "sls_local",
+            t0, engine.now, work, _SPARSE, net_name, bindex,
         )
-        self._span(
-            request, MAIN_SHARD, main, Layer.EMBEDDED, "embedded",
-            t0, engine.now, net=net_name, batch=batch.index,
+        record(
+            rid, MAIN_SHARD, main, _EMBEDDED, "embedded",
+            t0, engine.now, 0.0, None, net_name, bindex,
         )
 
     def _remote_sparse(
         self,
         request: Request,
-        batch: _Batch,
+        bindex: int,
         net_name: str,
         targets: list[_ShardLookups],
     ):
         """Distributed: serialize + issue async RPCs, wait, deserialize."""
-        engine, cm, main = self.engine, self.config.cost_model, self.main
+        engine, main = self.engine, self.main
+        record = self._record
+        rid = request.request_id
         t_embedded = engine.now
         responses = []
         for target in targets:
-            req_bytes = rpc_request_bytes(target.lookups, target.segments)
             t0 = engine.now
-            ser = cm.serde_time(
-                req_bytes, main.platform, tables=len(target.lookups), client_side=True
-            )
-            yield ser + cm.rpc_dispatch_fixed
-            self._span(
-                request, MAIN_SHARD, main, Layer.SERDE, "rpc_request_ser",
-                t0, engine.now, cpu=ser + cm.rpc_dispatch_fixed,
-                net=net_name, batch=batch.index,
-            )
-            resp_bytes = rpc_response_bytes(
-                [table for table, _ in target.lookups], batch.items
+            ser_total = target.client_ser_total
+            yield ser_total
+            record(
+                rid, MAIN_SHARD, main, _SERDE, "rpc_request_ser",
+                t0, engine.now, ser_total, None, net_name, bindex,
             )
             responses.append(
-                engine.process(
-                    self._rpc(request, batch, net_name, target, req_bytes, resp_bytes)
-                )
+                engine.process(self._rpc(request, bindex, net_name, target))
             )
         if not responses:
             # Every candidate shard was inactive for this batch; the RPC ops
@@ -475,28 +652,29 @@ class ClusterSimulation:
         main.workers.release()
         yield engine.all_of(responses)
         yield main.workers.acquire()
-        self._span(
-            request, MAIN_SHARD, main, Layer.EMBEDDED, "embedded",
-            t_embedded, engine.now, net=net_name, batch=batch.index,
+        record(
+            rid, MAIN_SHARD, main, _EMBEDDED, "embedded",
+            t_embedded, engine.now, 0.0, None, net_name, bindex,
         )
 
     def _rpc(
         self,
         request: Request,
-        batch: _Batch,
+        bindex: int,
         net_name: str,
         target: _ShardLookups,
-        req_bytes: float,
-        resp_bytes: float,
     ):
         """One remote call: network out, shard service, network back."""
         engine, cm = self.engine, self.config.cost_model
         main = self.main
-        server = self.sparse_servers[target.shard.index]
+        record = self._record
+        rid = request.request_id
+        shard_index = target.shard.index
+        server = self.sparse_servers[shard_index]
         rpc_id = next(self._rpc_ids)
         t_client = engine.now
 
-        out_delay = main.egress_delay(req_bytes) + self.fabric.one_way_delay(
+        out_delay = main.egress_delay(target.req_bytes) + self.fabric.one_way_delay(
             main.platform, server.platform, 0.0
         )
         yield out_delay
@@ -504,69 +682,77 @@ class ClusterSimulation:
         t_service = engine.now
         yield server.workers.acquire()
         t0 = engine.now
-        deser = cm.serde_time(req_bytes, server.platform, tables=len(target.lookups))
+        deser = target.server_deser
         yield deser
-        self._span(
-            request, target.shard.index, server, Layer.SERDE, "rpc_deser",
-            t0, engine.now, cpu=deser, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        record(
+            rid, shard_index, server, _SERDE, "rpc_deser",
+            t0, engine.now, deser, None, net_name, bindex, rpc_id,
         )
         yield cm.rpc_service_fixed
 
         t0 = engine.now
-        overhead = cm.net_overhead(len(target.lookups) + 2)
+        overhead = target.server_overhead
         yield overhead
-        self._span(
-            request, target.shard.index, server, Layer.NET_OVERHEAD, "net_sched",
-            t0, engine.now, cpu=overhead, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        record(
+            rid, shard_index, server, _NET_OVERHEAD, "net_sched",
+            t0, engine.now, overhead, None, net_name, bindex, rpc_id,
         )
 
         t0 = engine.now
-        work = cm.sls_time(target.lookups, server.platform)
+        work = target.sls_work
         yield work
-        self._span(
-            request, target.shard.index, server, Layer.OPERATOR, "sls_remote",
-            t0, engine.now, cpu=work,
-            category=OpCategory.SPARSE, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        record(
+            rid, shard_index, server, _OPERATOR, "sls_remote",
+            t0, engine.now, work, _SPARSE, net_name, bindex, rpc_id,
         )
 
         t0 = engine.now
-        ser = cm.serde_time(resp_bytes, server.platform, tables=len(target.lookups))
+        ser = target.server_resp_ser
         yield ser
-        self._span(
-            request, target.shard.index, server, Layer.SERDE, "rpc_resp_ser",
-            t0, engine.now, cpu=ser, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        record(
+            rid, shard_index, server, _SERDE, "rpc_resp_ser",
+            t0, engine.now, ser, None, net_name, bindex, rpc_id,
         )
         server.workers.release()
-        self._span(
-            request, target.shard.index, server, Layer.SERVICE, "rpc_e2e",
-            t_service, engine.now, cpu=cm.rpc_service_fixed,
-            net=net_name, batch=batch.index, rpc_id=rpc_id,
+        record(
+            rid, shard_index, server, _SERVICE, "rpc_e2e",
+            t_service, engine.now, cm.rpc_service_fixed, None, net_name, bindex, rpc_id,
         )
 
-        back_delay = server.egress_delay(resp_bytes) + self.fabric.one_way_delay(
+        back_delay = server.egress_delay(target.resp_bytes) + self.fabric.one_way_delay(
             server.platform, main.platform, 0.0
         )
         yield back_delay
-        self._span(
-            request, MAIN_SHARD, main, Layer.RPC_CLIENT, "rpc_outstanding",
-            t_client, engine.now,
-            net=net_name, batch=batch.index, rpc_id=rpc_id,
+        record(
+            rid, MAIN_SHARD, main, _RPC_CLIENT, "rpc_outstanding",
+            t_client, engine.now, 0.0, None, net_name, bindex, rpc_id,
         )
         # Response tensors deserialize on the client's IO threads, off the
         # request workers, overlapping the waits for slower RPCs.
         yield main.io_threads.acquire()
         t0 = engine.now
-        deser = cm.serde_time(
-            resp_bytes, main.platform, tables=len(target.lookups), client_side=True
-        )
+        deser = target.client_resp_deser
         yield deser
-        self._span(
-            request, MAIN_SHARD, main, Layer.SERDE, "rpc_response_deser",
-            t0, engine.now, cpu=deser, net=net_name, batch=batch.index, rpc_id=rpc_id,
+        record(
+            rid, MAIN_SHARD, main, _SERDE, "rpc_response_deser",
+            t0, engine.now, deser, None, net_name, bindex, rpc_id,
         )
         main.io_threads.release()
 
     # -- replay drivers ---------------------------------------------------------
+    def _finish_replay(self) -> None:
+        """Free trace state of requests that never completed.
+
+        Only applies when completions are consumed incrementally (an
+        ``on_complete`` hook pops finished requests): whatever the tracer
+        still holds belongs to requests that never finished, and keeping
+        their spans for the rest of a sweep is a leak.  Without a hook the
+        caller owns the trace (e.g. the ``trace`` CLI), so nothing is
+        dropped.
+        """
+        if self.on_complete is not None:
+            self.dropped_requests.extend(self.tracer.drain_incomplete())
+
     def run_serial(self, requests: Iterable[Request]) -> None:
         """Serial blocking replay: next request sent after the previous
         response returns (paper Section VI)."""
@@ -577,6 +763,7 @@ class ClusterSimulation:
 
         self.engine.process(driver())
         self.engine.run()
+        self._finish_replay()
 
     def run_open_loop(self, requests: list[Request], schedule: ReplaySchedule) -> None:
         """Open-loop replay at the schedule's QPS (paper Section VII-A)."""
@@ -593,3 +780,4 @@ class ClusterSimulation:
 
         self.engine.process(driver())
         self.engine.run()
+        self._finish_replay()

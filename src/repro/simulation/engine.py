@@ -31,6 +31,7 @@ from __future__ import annotations
 import heapq
 import numbers
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 ProcessGenerator = Generator[Union["Event", float, int], Any, Any]
@@ -106,14 +107,18 @@ class Timeout(Event):
 class Process(Event):
     """Drives a generator; triggers with the generator's return value."""
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_step_ref")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator):
         super().__init__(engine)
         self._generator = generator
+        # The bound ``_step`` is created once and reused: the plain-delay
+        # fast path schedules it on every hop, and allocating a fresh
+        # bound-method object per hop is measurable in full sweeps.
+        self._step_ref = self._step
         # Kick off at the current time (not synchronously) so that process
         # creation order does not leak into execution order mid-callback.
-        engine._schedule_call(0.0, self._step)
+        engine._schedule_call(0.0, self._step_ref)
 
     def _resume(self, event: Event) -> None:
         self._step(event._value)
@@ -124,13 +129,23 @@ class Process(Event):
         except StopIteration as stop:
             self._value = stop.value
             self._scheduled = True
+            # Break the self -> _step_ref -> self reference cycle so the
+            # finished process and its generator frame are reclaimed by
+            # refcounting, not deferred to the cyclic GC.
+            self._generator = None
+            self._step_ref = None
             self.engine._schedule(0.0, self)
             return
         cls = target.__class__
         if cls is float or cls is int:
             if target < 0:
                 raise SimulationError(f"negative timeout delay: {target}")
-            self.engine._schedule_call(target, self._step)
+            # Inlined _schedule_call: this is the hot loop of every sweep.
+            engine = self.engine
+            engine._sequence += 1
+            heappush(
+                engine._heap, (engine.now + target, engine._sequence, self._step_ref)
+            )
         elif isinstance(target, Event):
             target.add_callback(self._resume)
         elif isinstance(target, numbers.Real) and not isinstance(target, bool):
@@ -140,7 +155,7 @@ class Process(Event):
             delay = float(target)
             if delay < 0:
                 raise SimulationError(f"negative timeout delay: {delay}")
-            self.engine._schedule_call(delay, self._step)
+            self.engine._schedule_call(delay, self._step_ref)
         else:
             raise SimulationError(
                 f"process yielded {type(target).__name__}; processes must "
@@ -241,24 +256,23 @@ class Engine:
     the allocation-free fast path used for plain-delay process resumption.
     """
 
-    __slots__ = ("_now", "_sequence", "_heap")
+    __slots__ = ("now", "_sequence", "_heap")
 
     def __init__(self):
-        self._now = 0.0
+        #: Current simulation time.  A plain attribute, not a property:
+        #: the serving layer reads it on every span boundary and the
+        #: property call overhead is visible in full-sweep profiles.
+        self.now = 0.0
         self._sequence = 0
         self._heap: list[tuple[float, int, Any]] = []
 
-    @property
-    def now(self) -> float:
-        return self._now
-
     def _schedule(self, delay: float, event: Event) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
 
     def _schedule_call(self, delay: float, fn: Callable[[Any], None]) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, fn))
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, fn))
 
     # -- factory helpers ------------------------------------------------
     def event(self) -> Event:
@@ -289,12 +303,12 @@ class Engine:
         pop = heapq.heappop
         while heap:
             if until is not None and heap[0][0] > until:
-                self._now = until
+                self.now = until
                 return until
             at, _, target = pop(heap)
-            self._now = at
+            self.now = at
             if isinstance(target, Event):
                 target._trigger()
             else:
                 target(None)
-        return self._now
+        return self.now

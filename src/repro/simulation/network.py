@@ -45,17 +45,35 @@ class FabricSpec:
 class Fabric:
     """Samples one-way message delays between servers."""
 
+    #: Jitter factors drawn per refill.  A bulk ``normal(size=N)`` draw
+    #: consumes the generator's bit stream exactly like ``N`` sequential
+    #: scalar draws (the same property the vectorized request generator
+    #: relies on), so buffering only changes *when* bits are consumed from
+    #: this dedicated substream -- never which jitter a message sees.
+    _JITTER_BATCH = 4096
+
     def __init__(self, spec: FabricSpec | None = None, seed: int = 0):
         self.spec = spec or FabricSpec()
         self._rng = substream(seed, "fabric")
+        self._jitter_factors = np.empty(0)
+        self._jitter_pos = 0
+
+    def _refill_jitter(self) -> None:
+        self._jitter_factors = np.exp(
+            self._rng.normal(0.0, self.spec.jitter_sigma, size=self._JITTER_BATCH)
+        )
+        self._jitter_pos = 0
 
     def one_way_delay(self, src: Platform, dst: Platform, nbytes: float) -> float:
         """Sample the one-way delay for an ``nbytes`` message src -> dst."""
         spec = self.spec
         wire = nbytes / min(src.nic_bandwidth, dst.nic_bandwidth)
-        jitter = spec.jitter_median * float(
-            np.exp(self._rng.normal(0.0, spec.jitter_sigma))
-        )
+        pos = self._jitter_pos
+        if pos >= len(self._jitter_factors):
+            self._refill_jitter()
+            pos = 0
+        self._jitter_pos = pos + 1
+        jitter = spec.jitter_median * float(self._jitter_factors[pos])
         return spec.propagation + spec.kernel_overhead + wire + jitter
 
     def expected_floor(self) -> float:

@@ -1,5 +1,12 @@
-"""Cross-layer distributed tracing: spans, tracer, attribution."""
+"""Cross-layer distributed tracing: spans, tracer, attribution.
 
+Two trace modes (:class:`~repro.tracing.aggregate.TraceMode`): ``FULL``
+materializes spans and retains per-request attributions; ``AGGREGATE``
+accumulates bucket sums span-free and emits bit-identical columnar
+results -- the sweep fast path.
+"""
+
+from repro.tracing.aggregate import AggregatingTracer, TraceMode
 from repro.tracing.attribution import (
     CPU_BUCKETS,
     CPU_OPS,
@@ -21,6 +28,7 @@ from repro.tracing.span import MAIN_SHARD, Layer, Span, Tracer
 from repro.tracing.visualize import render_trace, trace_summary
 
 __all__ = [
+    "AggregatingTracer",
     "AttributionError",
     "CPU_BUCKETS",
     "CPU_OPS",
@@ -38,6 +46,7 @@ __all__ = [
     "RequestAttribution",
     "SPARSE_OPS",
     "Span",
+    "TraceMode",
     "Tracer",
     "attribute_request",
     "render_trace",

@@ -102,6 +102,48 @@ class Tracer:
         self._by_request.setdefault(span.request_id, []).append(span)
         self.spans_recorded += 1
 
+    def record_interval(
+        self,
+        request_id: int,
+        shard: int,
+        server,
+        layer: Layer,
+        name: str,
+        start: float,
+        end: float,
+        cpu: float = 0.0,
+        category: OpCategory | None = None,
+        net: str | None = None,
+        batch: int | None = None,
+        rpc_id: int | None = None,
+    ) -> None:
+        """Record one instrumented interval straight from the simulator.
+
+        ``start``/``end`` are engine times; the span is stamped with the
+        recording ``server``'s wall clock (engine time + skew), exactly as
+        that server would log it.  This is the single tracer entry point
+        the serving layer calls -- :class:`AggregatingTracer
+        <repro.tracing.aggregate.AggregatingTracer>` implements the same
+        signature without materializing ``Span`` objects.
+        """
+        skew = server.clock_skew
+        self.record(
+            Span(
+                request_id=request_id,
+                shard=shard,
+                server=server.name,
+                layer=layer,
+                name=name,
+                start=start + skew,
+                end=end + skew,
+                cpu_time=cpu,
+                category=category,
+                net=net,
+                batch=batch,
+                rpc_id=rpc_id,
+            )
+        )
+
     def for_request(self, request_id: int) -> list[Span]:
         return list(self._by_request.get(request_id, []))
 
@@ -110,6 +152,32 @@ class Tracer:
 
     def request_ids(self) -> list[int]:
         return sorted(self._by_request)
+
+    def in_flight(self) -> int:
+        """Number of requests whose spans are still buffered."""
+        return len(self._by_request)
+
+    def drain_incomplete(self) -> list[int]:
+        """Free spans of requests that never completed; return their ids.
+
+        Timed-out or abandoned requests are only ever freed via
+        ``pop_request`` on completion, so a long replay would otherwise
+        accumulate their spans for its whole lifetime.  The replay drivers
+        call this once the event heap drains (when completions are being
+        consumed incrementally) so a finished run holds no spans.
+        """
+        stale = sorted(self._by_request)
+        self._by_request.clear()
+        return stale
+
+    def assert_drained(self) -> None:
+        """Raise if any request's spans are still buffered."""
+        if self._by_request:
+            held = sorted(self._by_request)
+            raise RuntimeError(
+                f"tracer still holds spans for {len(held)} request(s): "
+                f"{held[:8]}{'...' if len(held) > 8 else ''}"
+            )
 
     def clear(self) -> None:
         self._by_request.clear()
