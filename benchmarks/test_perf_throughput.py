@@ -1,11 +1,13 @@
 """Simulation fast-path throughput benchmark (``BENCH_throughput.json``).
 
 Times the stages the fast path optimized -- request generation, the DES
-sweep in both trace modes, and the parallel sweep runner -- and records
+sweep in both trace modes, the parallel sweep runner, and a co-located
+diurnal ``WorkloadMix`` sweep in AGGREGATE mode -- and records
 simulated-requests-per-second into ``results/BENCH_throughput.json`` via
 :func:`repro.analysis.bench.record_benchmark`.  CI uploads the JSON as an
 artifact; comparing it across commits is the perf-regression trajectory
-for the experiment pipeline.
+for the experiment pipeline (the ``mix_sweep`` entry starts the
+mixed-workload branch of that trajectory).
 
 ``REPRO_TRACE_MODE`` (``full``/``aggregate``, default ``full``) selects
 the trace mode of the *parallel* sweep and suffixes the artifact name
@@ -32,17 +34,20 @@ import numpy as np
 
 from repro.analysis.bench import record_benchmark
 from repro.experiments import (
+    ShardingConfiguration,
     SuiteSettings,
+    run_mix_suite,
     run_suite,
     run_suite_parallel,
     suite_requests,
 )
 from repro.experiments.parallel import default_workers
 from repro.sharding.pooling import estimate_pooling_factors
-from repro.models import drm1
+from repro.models import drm1, drm2
 from repro.requests import RequestGenerator
 from repro.serving import ServingConfig, TraceMode
 from repro.tracing.span import MAIN_SHARD, Layer, Span
+from repro.workloads import PiecewiseRateArrivals, Workload, WorkloadMix
 
 from conftest import BENCH_REQUESTS
 
@@ -162,6 +167,38 @@ def test_perf_throughput():
     parallel_rps = simulated / parallel_s
     assert list(parallel_results) == list(serial_results)
 
+    # 5. Diurnal WorkloadMix sweep: DRM1+DRM2 co-located on shared hosts
+    # under diurnal arrivals, swept in AGGREGATE mode over a small shared
+    # configuration matrix -- the mixed-workload throughput trajectory.
+    mix = WorkloadMix(
+        (
+            Workload(
+                "drm1-diurnal", model,
+                PiecewiseRateArrivals.diurnal(50.0, seed=7), request_seed=3,
+            ),
+            Workload(
+                "drm2-diurnal", drm2(),
+                PiecewiseRateArrivals.diurnal(30.0, trough_fraction=0.5, seed=8),
+                request_seed=4,
+            ),
+        )
+    )
+    mix_configurations = (
+        ShardingConfiguration("singular"),
+        ShardingConfiguration("load-bal", 4),
+        ShardingConfiguration("NSBP", 8),
+    )
+    mix_results, mix_s = _time(
+        lambda: run_mix_suite(mix, aggregate_settings, mix_configurations)
+    )
+    mix_simulated = sum(len(result) for result in mix_results.values())
+    mix_rps = mix_simulated / mix_s
+    assert mix_simulated == 2 * BENCH_REQUESTS * len(mix_results)
+    for result in mix_results.values():
+        assert result.workload_labels == mix.labels()
+        per_workload = result.per_workload_e2e()
+        assert all(len(v) == BENCH_REQUESTS for v in per_workload.values())
+
     span_bytes = _span_bytes_per_instance()
 
     suffix = "" if trace_mode is TraceMode.FULL else f"_{trace_mode.value}"
@@ -215,6 +252,16 @@ def test_perf_throughput():
                     else None
                 ),
             },
+            "mix_sweep": {
+                # Two-model diurnal co-location (shared simulated hosts),
+                # AGGREGATE trace mode: the mixed-workload rung of the
+                # throughput trajectory.
+                "workloads": list(mix.labels()),
+                "configurations": len(mix_results),
+                "simulated_requests": mix_simulated,
+                "wall_s": mix_s,
+                "rps": mix_rps,
+            },
             "parallel_trace_mode": trace_mode.value,
             "span_bytes_per_instance": span_bytes,
         },
@@ -223,6 +270,7 @@ def test_perf_throughput():
         f"\n[bench] serial {serial_rps:.0f} req/s (full) / {aggregate_rps:.0f} "
         f"req/s (aggregate, {aggregate_rps / serial_rps:.2f}x), parallel "
         f"{parallel_rps:.0f} req/s ({workers} workers, {trace_mode.value}), "
+        f"mix {mix_rps:.0f} req/s (diurnal DRM1+DRM2, aggregate), "
         f"gen speedup {gen_speedup:.1f}x, span {span_bytes:.0f} B -> {path}"
     )
-    assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0
+    assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0 and mix_rps > 0

@@ -35,6 +35,7 @@ from repro.serving import (
     plan_replication,
 )
 from repro.sharding import estimate_pooling_factors, singular_plan
+from repro.workloads import diurnal_qps_curve
 
 
 def main() -> None:
@@ -55,8 +56,11 @@ def main() -> None:
         for label, plan in configs.items()
     }
 
+    # Size the deployment at the trough, the mean, and the peak of a
+    # production-style diurnal day (the workload subsystem's shared curve).
+    day = diurnal_qps_curve(peak_qps=80_000, trough_fraction=0.25)
     rows = []
-    for qps in (5_000, 20_000, 80_000):
+    for qps in (int(day.min()), int(np.median(day)), int(day.max())):
         demand = ReplicationDemand(qps=qps)
         singular_deploy = plan_replication(model, base, demand)
         rows.append(

@@ -20,6 +20,7 @@ from repro.models import drm1
 from repro.requests import RequestGenerator, materialize_numeric
 from repro.serving import ServingConfig
 from repro.sharding import DistributedModel, estimate_pooling_factors, singular_plan
+from repro.workloads import SerialArrivals, Workload
 from repro.core.types import GIB
 
 
@@ -51,7 +52,12 @@ def main() -> None:
     )
 
     # --- serving simulation ---------------------------------------------------
-    requests = RequestGenerator(model, seed=3).generate_many(150)
+    # The workload subsystem owns what arrives and when: serial blocking
+    # replay here; swap the arrival process (PoissonArrivals,
+    # PiecewiseRateArrivals.diurnal, MMPPArrivals) or co-locate several
+    # workloads with WorkloadMix -- see examples/diurnal_colocation.py.
+    workload = Workload("drm1-serial", model, SerialArrivals(), request_seed=3)
+    requests = workload.generator().generate_many(150)
     pooling = estimate_pooling_factors(model, num_requests=500, seed=42)
     serving = ServingConfig(seed=1)
 

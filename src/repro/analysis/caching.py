@@ -111,6 +111,50 @@ def cache_curve(
     return points
 
 
+def cache_curves(
+    trace: AccessTrace,
+    fractions=(0.01, 0.05, 0.10, 0.25, 0.50),
+    policies=("frequency", "lru"),
+) -> dict[str, list[CachePoint]]:
+    """Hit-rate curves for **every** table of a trace.
+
+    The whole-trace consumer for workload-emitted access streams (see
+    ``Workload.access_trace`` / ``RequestGenerator.access_trace``): one
+    call turns a request stream's trace into the full caching study.
+    """
+    return {
+        name: cache_curve(trace, name, fractions=fractions, policies=policies)
+        for name in trace.tables()
+    }
+
+
+def trace_hit_summary(
+    trace: AccessTrace, cache_fraction: float = 0.10, policy: str = "lru"
+) -> dict[str, float]:
+    """Per-table hit rate at one cache size, plus the trace-wide rate.
+
+    The ``"overall"`` entry weights each table by its access volume --
+    the number a serving tier actually experiences when every table gets
+    the same relative DRAM budget.  Recency-correlated streams
+    (:class:`~repro.requests.access_trace.CorrelatedStream`) raise the
+    LRU numbers over i.i.d. popularity draws; comparing the two
+    quantifies how much a deployable cache gains from temporal locality.
+    """
+    evaluators = {"frequency": frequency_hit_rate, "lru": lru_hit_rate}
+    evaluate = evaluators[policy]
+    summary: dict[str, float] = {}
+    hits = 0.0
+    total = 0
+    for name in trace.tables():
+        accesses = trace.accesses[name]
+        rate = evaluate(accesses, trace.num_rows[name], cache_fraction)
+        summary[name] = rate
+        hits += rate * accesses.size
+        total += accesses.size
+    summary["overall"] = hits / total if total else 0.0
+    return summary
+
+
 def dram_reduction_at_hit_target(
     trace: AccessTrace,
     table_name: str,

@@ -7,6 +7,9 @@ Exposes the library's main workflows without writing code:
 * ``simulate`` -- run one configuration and print latency/CPU quantiles;
 * ``suite``    -- run the paper's configuration matrix and print Figure-6
   style overheads;
+* ``workload`` -- co-locate several models under a chosen arrival process
+  (poisson / constant / diurnal / mmpp) and print per-workload latency,
+  optionally with a cache-aware correlated-stream hit-rate summary;
 * ``trace``    -- replay one request and render the Figure-3 timeline.
 """
 
@@ -17,11 +20,18 @@ import sys
 
 import numpy as np
 
+from repro.analysis.caching import trace_hit_summary
 from repro.analysis.report import format_table
 from repro.core.types import GIB
 from repro.experiments.configs import ShardingConfiguration, build_plan
 from repro.experiments.parallel import run_suite_parallel
-from repro.experiments.runner import run_configuration, run_suite, SuiteSettings
+from repro.experiments.runner import (
+    mix_stream,
+    run_configuration,
+    run_mix_configuration,
+    run_suite,
+    SuiteSettings,
+)
 from repro.models.zoo import MODEL_FACTORIES, build
 from repro.requests.generator import RequestGenerator
 from repro.serving.simulator import ClusterSimulation, ServingConfig
@@ -30,6 +40,15 @@ from repro.sharding.pooling import estimate_pooling_factors
 from repro.sharding.serialization import dump_plan
 from repro.tracing import TraceMode
 from repro.tracing.visualize import render_trace
+from repro.workloads import (
+    ConstantRateArrivals,
+    CorrelatedStream,
+    MMPPArrivals,
+    PiecewiseRateArrivals,
+    PoissonArrivals,
+    Workload,
+    WorkloadMix,
+)
 
 
 def _add_model_argument(parser: argparse.ArgumentParser) -> None:
@@ -178,6 +197,119 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arrival_process(args: argparse.Namespace, index: int):
+    """One workload's arrival process; seeds are offset per workload so
+    co-located streams are independent."""
+    seed = args.seed + index
+    if args.arrivals == "poisson":
+        return PoissonArrivals(args.qps, seed=seed)
+    if args.arrivals == "constant":
+        return ConstantRateArrivals(args.qps)
+    if args.arrivals == "diurnal":
+        return PiecewiseRateArrivals.diurnal(
+            args.qps, trough_fraction=args.trough_fraction,
+            hours=args.hours, seed=seed,
+        )
+    return MMPPArrivals(
+        (args.qps / 2.0, 2.0 * args.qps),
+        mean_dwell_seconds=args.dwell_seconds, seed=seed,
+    )
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    workloads = []
+    for index, name in enumerate(args.models):
+        workloads.append(
+            Workload(
+                name=f"{name.lower()}-{index}" if args.models.count(name) > 1 else name,
+                model=build(name),
+                arrivals=_arrival_process(args, index),
+                request_seed=args.seed + index,
+                # Seeded per workload (like arrivals and requests) so
+                # co-located tenants draw independent id streams.
+                id_stream=(
+                    CorrelatedStream(
+                        recency_weight=args.recency_weight, seed=args.seed + index
+                    )
+                    if args.cache_summary
+                    else None
+                ),
+            )
+        )
+    mix = WorkloadMix(tuple(workloads))
+    settings = SuiteSettings(
+        num_requests=args.requests,
+        pooling_requests=args.pooling_requests,
+        serving=ServingConfig(seed=args.seed),
+        trace_mode=_trace_mode(args),
+    )
+    stream = mix_stream(mix, settings)
+    plans = [
+        build_plan(
+            workload.model,
+            _configuration(args),
+            estimate_pooling_factors(
+                workload.model, num_requests=settings.pooling_requests,
+                seed=settings.pooling_seed,
+            ),
+        )
+        for workload in mix.workloads
+    ]
+    result = run_mix_configuration(
+        mix, plans, stream, settings.resolved_serving()
+    )
+    rows = []
+    per_workload = result.per_workload_e2e()
+    for workload, plan in zip(mix.workloads, plans):
+        latencies = per_workload[workload.name]
+        rows.append(
+            (
+                workload.name,
+                workload.model.name,
+                plan.label,
+                len(latencies),
+                round(float(np.percentile(latencies, 50)) * 1e3, 3),
+                round(float(np.percentile(latencies, 99)) * 1e3, 3),
+            )
+        )
+    rows.append(
+        (
+            "all", "-", "-", len(result),
+            round(float(np.percentile(result.e2e, 50)) * 1e3, 3),
+            round(float(np.percentile(result.e2e, 99)) * 1e3, 3),
+        )
+    )
+    print(
+        format_table(
+            ["workload", "model", "plan", "requests", "P50 (ms)", "P99 (ms)"],
+            rows,
+            title=(
+                f"co-located {'+'.join(w.model.name for w in mix.workloads)} "
+                f"under {args.arrivals} arrivals ({args.qps} QPS peak)"
+            ),
+        )
+    )
+    if args.cache_summary:
+        cache_rows = []
+        for name, trace in mix.access_traces(stream).items():
+            summary = trace_hit_summary(trace, cache_fraction=args.cache_fraction)
+            cache_rows.append(
+                (name, trace.total_accesses(), round(summary["overall"], 3))
+            )
+        print()
+        print(
+            format_table(
+                ["workload", "accesses", "LRU hit rate"],
+                cache_rows,
+                title=(
+                    f"correlated-stream cache summary "
+                    f"(LRU at {args.cache_fraction:.0%} of working set)"
+                ),
+            )
+        )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     model = build(args.model)
     pooling = estimate_pooling_factors(model, num_requests=args.pooling_requests)
@@ -235,6 +367,75 @@ def build_parser() -> argparse.ArgumentParser:
         "or REPRO_SWEEP_WORKERS)",
     )
     suite.set_defaults(func=cmd_suite)
+
+    workload = commands.add_parser(
+        "workload",
+        help="co-locate models under a chosen arrival process",
+        description="Run a multi-model workload mix on one shared simulated "
+        "cluster: each model gets its own sharding plan, requests "
+        "interleave by merged arrival order, and contention between the "
+        "models is simulated on shared hosts.  Prints per-workload and "
+        "overall latency quantiles.",
+    )
+    workload.add_argument(
+        "--models", nargs="+", default=["DRM1", "DRM2"],
+        choices=sorted(MODEL_FACTORIES),
+        help="one workload per named model (repeat a name to co-locate "
+        "two instances of the same model)",
+    )
+    workload.add_argument(
+        "--arrivals", default="diurnal",
+        choices=["poisson", "constant", "diurnal", "mmpp"],
+        help="arrival process per workload: 'poisson' fixed-QPS open loop, "
+        "'constant' deterministic gaps, 'diurnal' non-homogeneous Poisson "
+        "over the sinusoidal day curve, 'mmpp' bursty Markov-modulated "
+        "Poisson alternating qps/2 and 2*qps states",
+    )
+    workload.add_argument(
+        "--qps", type=float, default=40.0,
+        help="rate per workload: the fixed/constant rate, the diurnal peak, "
+        "or the MMPP anchor rate",
+    )
+    workload.add_argument(
+        "--trough-fraction", type=float, default=0.35,
+        help="diurnal trough as a fraction of peak QPS",
+    )
+    workload.add_argument(
+        "--hours", type=int, default=24, help="length of the diurnal curve"
+    )
+    workload.add_argument(
+        "--dwell-seconds", type=float, default=60.0,
+        help="mean MMPP state dwell time",
+    )
+    workload.add_argument(
+        "--strategy", default="load-bal",
+        choices=[SINGULAR, "1-shard", "load-bal", "cap-bal", "NSBP"],
+        help="sharding strategy applied to every workload's model",
+    )
+    workload.add_argument("--shards", type=int, default=4)
+    workload.add_argument(
+        "--requests", type=int, default=120, help="request count per workload"
+    )
+    workload.add_argument("--pooling-requests", type=int, default=300)
+    workload.add_argument("--seed", type=int, default=1)
+    _add_trace_mode_argument(workload)
+    workload.add_argument(
+        "--cache-summary", action="store_true",
+        help="also emit each workload's temporally-correlated "
+        "(popularity + recency) sparse-ID stream and print its LRU "
+        "cache hit rates",
+    )
+    workload.add_argument(
+        "--cache-fraction", type=float, default=0.10,
+        help="cache size for --cache-summary, as a fraction of each "
+        "table's observed working set",
+    )
+    workload.add_argument(
+        "--recency-weight", type=float, default=0.3,
+        help="probability an access re-references a recently touched row "
+        "(--cache-summary streams)",
+    )
+    workload.set_defaults(func=cmd_workload)
 
     trace = commands.add_parser("trace", help="render one request's trace")
     add_plan_arguments(trace)

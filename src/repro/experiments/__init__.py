@@ -19,23 +19,38 @@ Sizing and throughput knobs
   per-request attributions (so no per-shard breakdowns), and markedly
   faster large sweeps.  The CLI exposes it as ``--trace-mode``.
 * ``results/BENCH_throughput.json`` -- simulated-requests-per-second
-  trajectory (full + aggregate trace modes), rewritten by
+  trajectory (full + aggregate trace modes, plus the co-located diurnal
+  ``mix_sweep`` entry), rewritten by
   ``benchmarks/test_perf_throughput.py`` via
   :func:`repro.analysis.bench.record_benchmark`.
+* ``SuiteSettings.arrivals`` / ``repro.workloads`` -- any
+  :class:`~repro.workloads.arrivals.ArrivalProcess` (diurnal, MMPP,
+  constant-rate) can drive a classic suite; multi-model co-location runs
+  through :func:`run_mix_suite` / :func:`run_mix_suite_parallel` over a
+  :class:`~repro.workloads.workload.WorkloadMix`, producing
+  per-workload-labeled :class:`RunResult` columns in both trace modes.
 """
 
 from repro.experiments.configs import (
     PAPER_SHARD_COUNTS,
     ShardingConfiguration,
     build_plan,
+    mix_configurations,
     paper_configurations,
 )
-from repro.experiments.parallel import default_workers, run_suite_parallel
+from repro.experiments.parallel import (
+    default_workers,
+    run_mix_suite_parallel,
+    run_suite_parallel,
+)
 from repro.experiments.runner import (
     RunResult,
     SuiteSettings,
     default_num_requests,
+    mix_stream,
     run_configuration,
+    run_mix_configuration,
+    run_mix_suite,
     run_suite,
     suite_requests,
 )
@@ -52,8 +67,13 @@ __all__ = [
     "default_num_requests",
     "default_workers",
     "figures",
+    "mix_configurations",
+    "mix_stream",
     "paper_configurations",
     "run_configuration",
+    "run_mix_configuration",
+    "run_mix_suite",
+    "run_mix_suite_parallel",
     "run_suite",
     "run_suite_parallel",
     "suite_requests",

@@ -52,6 +52,26 @@ def paper_configurations(model_name: str) -> tuple[ShardingConfiguration, ...]:
     return tuple(configs)
 
 
+def mix_configurations(model_names) -> tuple[ShardingConfiguration, ...]:
+    """Configurations valid for *every* named model, in matrix order.
+
+    A co-located :class:`~repro.workloads.workload.WorkloadMix` sweep
+    applies one configuration to all tenant models, so it can only sweep
+    the intersection of their paper matrices (DRM3 shards with NSBP only,
+    and only at 4/8 shards).
+    """
+    names = list(model_names)
+    if not names:
+        raise ValueError("mix_configurations needs at least one model name")
+    ordered = paper_configurations(names[0])
+    for name in names[1:]:
+        allowed = set(paper_configurations(name))
+        ordered = tuple(
+            configuration for configuration in ordered if configuration in allowed
+        )
+    return ordered
+
+
 def build_plan(
     model: ModelConfig,
     configuration: ShardingConfiguration,

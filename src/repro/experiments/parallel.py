@@ -31,11 +31,14 @@ from repro.experiments.configs import (
 from repro.experiments.runner import (
     RunResult,
     SuiteSettings,
+    _mix_sweep_context,
     run_configuration,
+    run_mix_configuration,
     suite_requests,
 )
 from repro.models.config import ModelConfig
 from repro.sharding.pooling import estimate_pooling_factors
+from repro.workloads.workload import WorkloadMix
 
 #: Environment knob: worker-process cap for parallel sweeps.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -69,6 +72,19 @@ def _run_one(configuration: ShardingConfiguration) -> tuple[str, RunResult]:
     return plan.label, result
 
 
+def _run_one_mix(configuration: ShardingConfiguration) -> tuple[str, RunResult]:
+    """Worker body for mix sweeps: shard every tenant, simulate co-located."""
+    mix, poolings, stream, serving = _WORKER_CONTEXT
+    plans = [
+        build_plan(workload.model, configuration, pooling)
+        for workload, pooling in zip(mix.workloads, poolings)
+    ]
+    result = run_mix_configuration(
+        mix, plans, stream, serving, label=configuration.label
+    )
+    return configuration.label, result
+
+
 def run_suite_parallel(
     model: ModelConfig,
     settings: SuiteSettings | None = None,
@@ -88,7 +104,40 @@ def run_suite_parallel(
     pooling = estimate_pooling_factors(
         model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
     )
-    context = (model, pooling, requests, settings.resolved_serving(), settings.schedule)
+    context = (
+        model, pooling, requests,
+        settings.resolved_serving(), settings.resolved_schedule(),
+    )
+    return _fan_out(_run_one, context, configurations, max_workers)
+
+
+def run_mix_suite_parallel(
+    mix: WorkloadMix,
+    settings: SuiteSettings | None = None,
+    configurations: tuple[ShardingConfiguration, ...] | None = None,
+    max_workers: int | None = None,
+) -> dict[str, RunResult]:
+    """Parallel counterpart of :func:`~repro.experiments.runner.run_mix_suite`.
+
+    The merged stream is sampled once in the parent and shipped to every
+    worker; per-configuration cluster seeds are pure functions of the
+    tenant list, so the parallel mix sweep is byte-identical to the
+    serial one.
+    """
+    configurations, stream, poolings, serving = _mix_sweep_context(
+        mix, settings, configurations
+    )
+    context = (mix, poolings, stream, serving)
+    return _fan_out(_run_one_mix, context, configurations, max_workers)
+
+
+def _fan_out(
+    run_one,
+    context: tuple,
+    configurations: tuple[ShardingConfiguration, ...],
+    max_workers: int | None,
+) -> dict[str, RunResult]:
+    """Map configurations over a worker pool (or in-process for one worker)."""
     workers = min(
         max_workers if max_workers is not None else default_workers(),
         len(configurations),
@@ -96,7 +145,7 @@ def run_suite_parallel(
     if workers <= 1:
         _init_worker(context)
         try:
-            pairs = [_run_one(configuration) for configuration in configurations]
+            pairs = [run_one(configuration) for configuration in configurations]
         finally:
             _init_worker(None)
     else:
@@ -110,6 +159,6 @@ def run_suite_parallel(
         with mp_context.Pool(
             processes=workers, initializer=_init_worker, initargs=(context,)
         ) as pool:
-            pairs = pool.map(_run_one, configurations, chunksize=1)
+            pairs = pool.map(run_one, configurations, chunksize=1)
     # dict() preserves configuration order: pool.map returns in input order.
     return dict(pairs)

@@ -28,9 +28,12 @@ from repro.tracing.attribution import (
     RequestAttribution,
     attribute_request,
 )
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.workload import MixedStream, WorkloadMix
 from repro.experiments.configs import (
     ShardingConfiguration,
     build_plan,
+    mix_configurations,
     paper_configurations,
 )
 
@@ -86,15 +89,26 @@ class RunResult:
         label: str,
         plan: ShardingPlan,
         expected_requests: int = 0,
+        workload_labels: tuple[str, ...] | None = None,
+        plans: list[ShardingPlan] | None = None,
     ):
         self.model_name = model_name
         self.label = label
         self.plan = plan
+        #: One plan per co-located workload; ``[plan]`` for classic runs.
+        self.plans = list(plans) if plans is not None else [plan]
+        #: Display labels of the workloads sharing this run; classic
+        #: single-model runs carry one label (the model name), and every
+        #: request's ``workloads`` entry indexes into this tuple.
+        self.workload_labels = (
+            tuple(workload_labels) if workload_labels else (model_name,)
+        )
         self.attributions: list[RequestAttribution] = []
         capacity = max(int(expected_requests), 16)
         self._count = 0
         self._e2e = np.empty(capacity)
         self._cpu = np.empty(capacity)
+        self._workload = np.zeros(capacity, dtype=np.int64)
         self._stack_cols: dict[tuple[str, str], np.ndarray] = {
             (kind, bucket): np.empty(capacity)
             for kind, buckets in self._COLUMN_BUCKETS.items()
@@ -103,15 +117,16 @@ class RunResult:
 
     def _grow(self, capacity: int) -> None:
         def grown(array: np.ndarray) -> np.ndarray:
-            out = np.empty(capacity)
+            out = np.empty(capacity, dtype=array.dtype)
             out[: self._count] = array[: self._count]
             return out
 
         self._e2e = grown(self._e2e)
         self._cpu = grown(self._cpu)
+        self._workload = grown(self._workload)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
 
-    def add(self, attribution: RequestAttribution) -> None:
+    def add(self, attribution: RequestAttribution, workload: int = 0) -> None:
         """Append one completed request's attribution."""
         index = self._count
         if index == len(self._e2e):
@@ -119,6 +134,7 @@ class RunResult:
         self.attributions.append(attribution)
         self._e2e[index] = attribution.e2e
         self._cpu[index] = attribution.cpu_total
+        self._workload[index] = workload
         cols = self._stack_cols
         for bucket, value in attribution.latency_stack.items():
             cols["latency", bucket][index] = value
@@ -146,6 +162,29 @@ class RunResult:
             bucket: self._stack_cols[kind, bucket][: self._count]
             for bucket in self._COLUMN_BUCKETS[kind]
         }
+
+    # -- per-workload views ------------------------------------------------
+    @property
+    def workloads(self) -> np.ndarray:
+        """Per-request workload index (into ``workload_labels``), in
+        completion order -- all zeros for single-workload runs."""
+        return self._workload[: self._count]
+
+    def workload_mask(self, label: str) -> np.ndarray:
+        """Boolean mask selecting one workload's requests."""
+        return self.workloads == self.workload_labels.index(label)
+
+    def split_by_workload(self, values: np.ndarray) -> dict[str, np.ndarray]:
+        """Split any per-request column into ``{workload label: values}``."""
+        workloads = self.workloads
+        return {
+            label: values[workloads == index]
+            for index, label in enumerate(self.workload_labels)
+        }
+
+    def per_workload_e2e(self) -> dict[str, np.ndarray]:
+        """E2E latency split by workload (the mix-figure accessor)."""
+        return self.split_by_workload(self.e2e)
 
     @property
     def embedded_totals(self) -> np.ndarray:
@@ -183,12 +222,13 @@ class RunResult:
         ``attributions`` stays empty: per-shard breakdowns need FULL
         traces (the per-shard means below return ``{}`` accordingly).
         """
-        count, e2e, cpu, stack_cols = tracer.export_columns()
+        count, e2e, cpu, stack_cols, workload = tracer.export_columns()
         if set(stack_cols) != set(self._stack_cols):
             raise ValueError("aggregate tracer columns do not match RunResult layout")
         self._count = count
         self._e2e = e2e
         self._cpu = cpu
+        self._workload = workload
         self._stack_cols = stack_cols
 
     def mean_per_shard_op_time(self) -> dict[int, float]:
@@ -274,6 +314,16 @@ class SuiteSettings:
     trace_mode: TraceMode | None = None
     """Overrides ``serving.trace_mode`` when set; None keeps it."""
 
+    arrivals: ArrivalProcess | None = None
+    """Overrides ``schedule`` with any workload-subsystem arrival process
+    (diurnal, MMPP, constant-rate, ...) when set; None keeps the
+    schedule.  The classic serial / fixed-QPS spellings stay on
+    ``schedule`` and replay byte-identical streams either way.  With a
+    timed process set, request timestamps are the arrival times
+    themselves (matching ``Workload.sample``), so the generator's
+    diurnal request-size modulation tracks the arrival curve instead of
+    the default 5-day linspace window."""
+
     def resolved_requests(self) -> int:
         return self.num_requests or default_num_requests()
 
@@ -283,10 +333,25 @@ class SuiteSettings:
             return self.serving
         return self.serving.with_trace_mode(self.trace_mode)
 
+    def resolved_schedule(self) -> ReplaySchedule:
+        """The replay schedule, with ``arrivals`` applied when set."""
+        if self.arrivals is None:
+            return self.schedule
+        return ReplaySchedule.from_arrivals(self.arrivals)
+
 
 def suite_requests(model: ModelConfig, settings: SuiteSettings) -> list[Request]:
     generator = RequestGenerator(model, seed=settings.request_seed)
-    return generator.generate_many(settings.resolved_requests())
+    count = settings.resolved_requests()
+    if settings.arrivals is not None:
+        times = settings.arrivals.arrival_times(count)
+        if times is not None:
+            # Timed arrival process: timestamps are the arrival times, so
+            # the diurnal size modulation tracks the arrival curve
+            # (Workload.sample semantics).  Serial arrivals fall through
+            # to the classic evenly-sampled window.
+            return generator.generate_batch(np.asarray(times, dtype=np.float64))
+    return generator.generate_many(count)
 
 
 def run_suite(
@@ -306,10 +371,127 @@ def run_suite(
         model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
     )
     serving = settings.resolved_serving()
+    schedule = settings.resolved_schedule()
     results: dict[str, RunResult] = {}
     for configuration in configurations:
         plan = build_plan(model, configuration, pooling)
         results[plan.label] = run_configuration(
-            model, plan, requests, serving, settings.schedule
+            model, plan, requests, serving, schedule
+        )
+    return results
+
+
+# -- multi-model workload mixes ----------------------------------------------
+def run_mix_configuration(
+    mix: "WorkloadMix",
+    plans: list[ShardingPlan],
+    stream: "MixedStream",
+    serving: ServingConfig | None = None,
+    label: str | None = None,
+) -> RunResult:
+    """Simulate one co-located deployment of a workload mix.
+
+    ``plans[w]`` shards workload ``w``'s model; all tenants share the
+    simulated hosts (``ClusterSimulation.colocated``), so the mix's
+    queueing contention is simulated.  The returned :class:`RunResult`
+    carries a per-workload label column in completion order -- filled by
+    the attribution hook in FULL mode and by the aggregating tracer in
+    AGGREGATE mode, bit-identically (``stream.workload_ids`` is indexed
+    by request id either way, since merged ids are stream positions).
+    """
+    if len(plans) != len(mix.workloads):
+        raise ValueError(
+            f"got {len(plans)} plans for {len(mix.workloads)} workloads"
+        )
+    serving = serving or ServingConfig()
+    aggregate = serving.trace_mode is TraceMode.AGGREGATE
+    cluster = ClusterSimulation.colocated(
+        [(workload.model, plan) for workload, plan in zip(mix.workloads, plans)],
+        serving,
+        tracer=AggregatingTracer(expected_requests=len(stream)) if aggregate else None,
+    )
+    result = RunResult(
+        model_name="+".join(workload.model.name for workload in mix.workloads),
+        label=label or " + ".join(plan.label for plan in plans),
+        plan=plans[0],
+        expected_requests=0 if aggregate else len(stream),
+        workload_labels=mix.labels(),
+        plans=plans,
+    )
+    workload_ids = stream.workload_ids
+    tracer = cluster.tracer
+    if isinstance(tracer, AggregatingTracer):
+        tracer.workload_ids = workload_ids
+        cluster.on_complete = tracer.finalize_request
+    else:
+        def on_complete(request_id: int) -> None:
+            result.add(
+                attribute_request(tracer.pop_request(request_id)),
+                workload=int(workload_ids[request_id]),
+            )
+
+        cluster.on_complete = on_complete
+    cluster.run_stream(stream)
+    if isinstance(tracer, AggregatingTracer):
+        result.adopt_aggregate(tracer)
+    return result
+
+
+def mix_stream(mix: "WorkloadMix", settings: SuiteSettings) -> "MixedStream":
+    """Sample a mix's merged request stream once per sweep (the mix-side
+    analogue of :func:`suite_requests`)."""
+    return mix.sample(settings.resolved_requests())
+
+
+def _mix_sweep_context(
+    mix: "WorkloadMix",
+    settings: SuiteSettings | None,
+    configurations: tuple[ShardingConfiguration, ...] | None,
+):
+    """Shared sweep preamble of the serial and parallel mix runners.
+
+    One definition on purpose: the serial == parallel identity holds only
+    while both runners default configurations, sample the stream, and
+    estimate poolings identically.
+    """
+    settings = settings or SuiteSettings()
+    configurations = configurations or mix_configurations(
+        workload.model.name for workload in mix.workloads
+    )
+    stream = mix_stream(mix, settings)
+    poolings = [
+        estimate_pooling_factors(
+            workload.model,
+            num_requests=settings.pooling_requests,
+            seed=settings.pooling_seed,
+        )
+        for workload in mix.workloads
+    ]
+    return configurations, stream, poolings, settings.resolved_serving()
+
+
+def run_mix_suite(
+    mix: "WorkloadMix",
+    settings: SuiteSettings | None = None,
+    configurations: tuple[ShardingConfiguration, ...] | None = None,
+) -> dict[str, RunResult]:
+    """Run a configuration sweep for a co-located workload mix.
+
+    Each configuration is applied to *every* workload's model (so it must
+    be valid for all of them); every configuration replays the same
+    merged stream, mirroring :func:`run_suite`.  ``settings.num_requests``
+    is the per-workload request count.
+    """
+    configurations, stream, poolings, serving = _mix_sweep_context(
+        mix, settings, configurations
+    )
+    results: dict[str, RunResult] = {}
+    for configuration in configurations:
+        plans = [
+            build_plan(workload.model, configuration, pooling)
+            for workload, pooling in zip(mix.workloads, poolings)
+        ]
+        results[configuration.label] = run_mix_configuration(
+            mix, plans, stream, serving, label=configuration.label
         )
     return results

@@ -1,6 +1,11 @@
 """Request substrate: synthetic generation, payload sizing, replay schedules."""
 
-from repro.requests.access_trace import AccessTrace, collect_access_trace
+from repro.requests.access_trace import (
+    AccessTrace,
+    CorrelatedStream,
+    collect_access_trace,
+    collect_correlated_trace,
+)
 from repro.requests.generator import (
     Request,
     RequestGenerator,
@@ -12,8 +17,10 @@ from repro.requests.replayer import ReplayMode, ReplaySchedule
 
 __all__ = [
     "AccessTrace",
+    "CorrelatedStream",
     "ReplayMode",
     "collect_access_trace",
+    "collect_correlated_trace",
     "ReplaySchedule",
     "Request",
     "RequestGenerator",

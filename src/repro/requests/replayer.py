@@ -1,4 +1,4 @@
-"""Request replay schedules.
+"""Request replay schedules: a thin facade over the workload subsystem.
 
 The paper evaluates two request regimes:
 
@@ -7,6 +7,15 @@ The paper evaluates two request regimes:
 * **open loop at a fixed QPS** (Section VII-A): requests arrive following
   a Poisson process at 25 QPS, representative of production load, which
   exposes queueing effects that improve distributed P99 over singular.
+
+:class:`ReplaySchedule` keeps those two spellings (and their historical,
+byte-identical arrival streams) as a frozen facade over
+:mod:`repro.workloads.arrivals`, where the arrival-time axis now lives as
+composable processes (Poisson, constant-rate, piecewise/diurnal, MMPP).
+Any open-loop :class:`~repro.workloads.arrivals.ArrivalProcess` can be
+wrapped into a schedule with :meth:`ReplaySchedule.from_arrivals`, which
+is how diurnal or bursty arrivals thread through the existing
+``run_configuration`` / ``run_suite`` machinery unchanged.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.rng import substream
+from repro.workloads.arrivals import ArrivalProcess, PoissonArrivals, SerialArrivals
 
 
 class ReplayMode(enum.Enum):
@@ -31,9 +40,14 @@ class ReplaySchedule:
     mode: ReplayMode = ReplayMode.SERIAL
     qps: float = 0.0
     seed: int = 0
+    process: ArrivalProcess | None = None
+    """Custom open-loop arrival process; ``None`` keeps the classic
+    spellings (serial, fixed-QPS Poisson)."""
 
     def __post_init__(self):
-        if self.mode is ReplayMode.OPEN_LOOP and self.qps <= 0:
+        if self.process is not None and self.mode is ReplayMode.SERIAL:
+            raise ValueError("a custom arrival process requires open-loop mode")
+        if self.process is None and self.mode is ReplayMode.OPEN_LOOP and self.qps <= 0:
             raise ValueError("open-loop replay requires qps > 0")
         # Normalize so open_loop(25), open_loop(25.0), and numpy scalars
         # are the same schedule: the arrival substream is keyed on qps,
@@ -48,17 +62,47 @@ class ReplaySchedule:
     def open_loop(cls, qps: float, seed: int = 0) -> "ReplaySchedule":
         return cls(mode=ReplayMode.OPEN_LOOP, qps=qps, seed=seed)
 
-    def arrival_times(self, count: int) -> np.ndarray | None:
-        """Poisson arrival times for open-loop replay; None for serial.
+    @classmethod
+    def from_arrivals(cls, process: ArrivalProcess) -> "ReplaySchedule":
+        """Wrap any arrival process into a schedule.
 
-        Serial replay has no precomputable arrivals -- each send waits for
-        the previous response -- so the cluster drives it directly.
+        ``SerialArrivals`` maps to the serial schedule; everything else
+        becomes an open-loop schedule driven by the process.  ``qps`` and
+        ``seed`` mirror the process's fields when it has them, so the
+        facade stays inspectable.
         """
+        if isinstance(process, SerialArrivals):
+            return cls.serial()
+        return cls(
+            mode=ReplayMode.OPEN_LOOP,
+            qps=float(getattr(process, "qps", 0.0)),
+            seed=int(getattr(process, "seed", 0)),
+            process=process,
+        )
+
+    def arrival_process(self) -> ArrivalProcess:
+        """The process this schedule is a facade over."""
+        if self.process is not None:
+            return self.process
         if self.mode is ReplayMode.SERIAL:
-            return None
-        # qps is normalized to a Python float in __post_init__, so the
-        # substream key is canonical (shortest-roundtrip float repr) no
-        # matter how the rate was spelled at the call site.
-        rng = substream(self.seed, "arrivals", self.qps)
-        gaps = rng.exponential(1.0 / self.qps, size=count)
-        return np.cumsum(gaps)
+            return SerialArrivals()
+        return PoissonArrivals(self.qps, self.seed)
+
+    def arrival_times(self, count: int) -> np.ndarray | None:
+        """First ``count`` arrival times; None for serial replay.
+
+        ``count`` must be an integer ``>= 0`` (negative counts raise a
+        clear ``ValueError`` instead of surfacing garbage-shaped numpy
+        output); ``count == 0`` returns an **empty array** for open-loop
+        schedules.  Serial replay has no precomputable arrivals -- each
+        send waits for the previous response -- so the cluster drives it
+        directly and this returns ``None`` for any valid count.
+
+        Open-loop streams are byte-identical to the historical
+        implementation: the facade delegates to
+        :class:`~repro.workloads.arrivals.PoissonArrivals`, whose
+        substream is keyed on the float-normalized qps.  Count validation
+        happens in the process (every ``ArrivalProcess.arrival_times``
+        checks, serial included).
+        """
+        return self.arrival_process().arrival_times(count)

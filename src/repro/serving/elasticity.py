@@ -24,20 +24,14 @@ import numpy as np
 from repro.models.config import ModelConfig
 from repro.serving.replication import ReplicationDemand, plan_replication
 
+# Deprecated alias: the diurnal curve now lives (generalized) in the
+# workload subsystem so elasticity sizing and diurnal arrival replay share
+# one definition.  Import it from ``repro.workloads`` in new code; this
+# re-export keeps the historical spelling working.
+from repro.workloads.arrivals import diurnal_qps_curve  # noqa: F401
+
 if TYPE_CHECKING:
     from repro.experiments.runner import RunResult
-
-
-def diurnal_qps_curve(
-    peak_qps: float, trough_fraction: float = 0.35, hours: int = 24
-) -> np.ndarray:
-    """A smooth day of traffic: sinusoid between trough and peak QPS."""
-    if peak_qps <= 0 or not 0 < trough_fraction <= 1:
-        raise ValueError("peak_qps must be positive, trough_fraction in (0, 1]")
-    phase = 2.0 * np.pi * (np.arange(hours) / hours)
-    mean = (1 + trough_fraction) / 2
-    amplitude = (1 - trough_fraction) / 2
-    return peak_qps * (mean - amplitude * np.cos(phase))
 
 
 @dataclass

@@ -23,6 +23,15 @@ DES kernel:
 The simulator consumes *count-level* requests (no real ids): all costs are
 functions of id counts, table metadata, and bytes.
 
+Multi-model co-location (ROADMAP workload axes): a cluster can host
+several (model, plan) *tenants* on shared simulated hosts --
+:meth:`ClusterSimulation.colocated` -- with per-tenant execution plans and
+shard sets; a merged :class:`~repro.workloads.workload.MixedStream`
+replays through :meth:`ClusterSimulation.run_stream`, so cross-model
+queueing contention (worker pools, egress NICs) is simulated rather than
+post-processed.  Single-tenant construction keeps every historical RNG
+substream key and is byte-identical to the pre-tenant implementation.
+
 Fast path: every cost a request will be charged is a pure function of
 (request, plan, cost model) -- none depends on simulation time -- so the
 per-(batch, net) RPC fan-outs, payload sizes, serde times, and SLS times
@@ -182,61 +191,37 @@ class _NetBatchPlan:
         self.local_work = local_work
 
 
-class ClusterSimulation:
-    """Simulates one (model, plan, serving-config) deployment."""
+class _Tenant:
+    """One co-located model's execution context on the shared cluster.
 
-    def __init__(
-        self,
-        model: ModelConfig,
-        plan: ShardingPlan,
-        config: ServingConfig | None = None,
-        tracer: Tracer | AggregatingTracer | None = None,
-    ):
-        plan.validate(model)
+    Holds everything that is a pure function of (model, plan, cost model):
+    the per-net RPC routing and the hoisted per-table cost constants.  A
+    single-model simulation is simply a cluster with one tenant; the
+    shared-host contention of multi-model co-location falls out of the
+    servers being owned by the cluster, not the tenant.
+    """
+
+    __slots__ = (
+        "index",
+        "model",
+        "plan",
+        "net_routing",
+        "per_id_main",
+        "per_id_sparse",
+        "serde_tbl_client",
+        "serde_tbl_server",
+    )
+
+    def __init__(self, index: int, model: ModelConfig, plan: ShardingPlan, config: ServingConfig):
+        self.index = index
         self.model = model
         self.plan = plan
-        self.config = config or ServingConfig()
-        if tracer is not None:
-            self.tracer = tracer
-        elif self.config.trace_mode is TraceMode.AGGREGATE:
-            self.tracer = AggregatingTracer()
-        else:
-            self.tracer = Tracer()
-        #: The single hot-path recording entry point; both tracers share
-        #: the ``record_interval`` signature (engine times + server).
-        self._record = self.tracer.record_interval
-        self.engine = Engine()
-        self._rpc_ids = itertools.count()
-        self._rng = substream(self.config.seed, "cluster", model.name, plan.label)
-        skew_rng = substream(self.config.seed, "clock-skew", model.name, plan.label)
-
-        def skew() -> float:
-            if self.config.clock_skew_sigma == 0.0:
-                return 0.0
-            return float(skew_rng.normal(0.0, self.config.clock_skew_sigma))
-
-        self.fabric = Fabric(self.config.fabric_spec, seed=self.config.seed)
-        io_threads = self.config.cost_model.io_threads
-        self.main = SimServer(
-            "main", self.config.main_platform, self.engine,
-            self.config.service_workers, skew(), io_threads,
-        )
-        self.sparse_servers = [
-            SimServer(
-                f"sparse-{shard.index}", self.config.sparse_platform, self.engine,
-                self.config.service_workers, skew(), io_threads,
-            )
-            for shard in plan.shards
-        ]
-        self.completed: dict[int, float] = {}
-        self.on_complete: Callable[[int], None] | None = None
-        self.dropped_requests: list[int] = []
 
         # Precomputed RPC routing: for each net, the shards holding at
         # least one of its tables, with that net's (table, assignment)
         # pairs.  The per-request plan builder walks this once per request
         # and must not rediscover the placement every time.
-        self._net_routing: dict[str, list[tuple[ShardSpec, list]]] = {}
+        self.net_routing: dict[str, list[tuple[ShardSpec, list]]] = {}
         if not plan.is_singular:
             for net_cfg in model.nets:
                 routing = []
@@ -249,40 +234,147 @@ class ClusterSimulation:
                     ]
                     if pairs:
                         routing.append((shard, pairs))
-                self._net_routing[net_cfg.name] = routing
+                self.net_routing[net_cfg.name] = routing
 
         # Pure per-table / per-message cost constants, hoisted out of the
         # hot loop.  All reproduce the exact float expressions of
         # CostModel.serde_time / sls_time (same association order), so the
         # precomputed plans are bit-identical to computing costs in-line.
-        cm = self.config.cost_model
-        main_platform = self.config.main_platform
-        sparse_platform = self.config.sparse_platform
-        self._per_id_main = {
+        cm = config.cost_model
+        main_platform = config.main_platform
+        sparse_platform = config.sparse_platform
+        self.per_id_main = {
             table.name: cm.sls_per_id(table, main_platform) for table in model.tables
         }
-        self._per_id_sparse = {
+        self.per_id_sparse = {
             table.name: cm.sls_per_id(table, sparse_platform) for table in model.tables
         }
         max_tables = max(
             (len(model.tables_for_net(net.name)) for net in model.nets), default=0
         )
-        self._serde_tbl_client = [
+        self.serde_tbl_client = [
             (cm.client_serde_per_table * n) / main_platform.relative_clock
             for n in range(max_tables + 1)
         ]
-        self._serde_tbl_server = [
+        self.serde_tbl_server = [
             (cm.serde_per_table * n) / sparse_platform.relative_clock
             for n in range(max_tables + 1)
         ]
-        self._serde_denom_main = cm.serde_bytes_per_sec * main_platform.relative_clock
+
+
+class ClusterSimulation:
+    """Simulates one deployment: (model+, plan+, serving-config).
+
+    The classic constructor simulates one (model, plan) pair, exactly as
+    the paper does.  :meth:`colocated` places several models on the same
+    simulated hosts -- one shared main server, and sparse hosts shared by
+    shard index across tenants -- so multi-model co-location contention
+    (worker queueing, NIC serialization) is *simulated*, not
+    post-processed.  Single-tenant behavior, including every RNG
+    substream key, is byte-identical to the pre-tenant implementation.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        plan: ShardingPlan,
+        config: ServingConfig | None = None,
+        tracer: Tracer | AggregatingTracer | None = None,
+    ):
+        self._setup([(model, plan)], config, tracer)
+
+    @classmethod
+    def colocated(
+        cls,
+        tenants: Iterable[tuple[ModelConfig, ShardingPlan]],
+        config: ServingConfig | None = None,
+        tracer: Tracer | AggregatingTracer | None = None,
+    ) -> "ClusterSimulation":
+        """Build a cluster serving several (model, plan) tenants at once.
+
+        Tenant ``t``'s sparse shard ``i`` is served by shared host
+        ``sparse-{i}``; the main (dense) tier is one shared server.  Use
+        ``submit(request, tenant=t)`` / :meth:`run_stream` to drive it.
+        """
+        cluster = cls.__new__(cls)
+        cluster._setup(list(tenants), config, tracer)
+        return cluster
+
+    def _setup(
+        self,
+        tenants: list[tuple[ModelConfig, ShardingPlan]],
+        config: ServingConfig | None,
+        tracer: Tracer | AggregatingTracer | None,
+    ) -> None:
+        if not tenants:
+            raise ValueError("a cluster needs at least one (model, plan) tenant")
+        for model, plan in tenants:
+            plan.validate(model)
+        #: Primary tenant, kept as attributes for the single-model API.
+        self.model, self.plan = tenants[0]
+        self.config = config or ServingConfig()
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.trace_mode is TraceMode.AGGREGATE:
+            self.tracer = AggregatingTracer()
+        else:
+            self.tracer = Tracer()
+        #: The single hot-path recording entry point; both tracers share
+        #: the ``record_interval`` signature (engine times + server).
+        self._record = self.tracer.record_interval
+        self.engine = Engine()
+        self._rpc_ids = itertools.count()
+        # Single-tenant keys are the historical (model, label) pair --
+        # streams must stay byte-identical; co-located clusters key on the
+        # full tenant list so distinct mixes never share streams.
+        if len(tenants) == 1:
+            cluster_key: tuple = (self.model.name, self.plan.label)
+        else:
+            cluster_key = ("colocated",) + tuple(
+                f"{model.name}/{plan.label}" for model, plan in tenants
+            )
+        self._rng = substream(self.config.seed, "cluster", *cluster_key)
+        skew_rng = substream(self.config.seed, "clock-skew", *cluster_key)
+
+        def skew() -> float:
+            if self.config.clock_skew_sigma == 0.0:
+                return 0.0
+            return float(skew_rng.normal(0.0, self.config.clock_skew_sigma))
+
+        self.fabric = Fabric(self.config.fabric_spec, seed=self.config.seed)
+        io_threads = self.config.cost_model.io_threads
+        self.main = SimServer(
+            "main", self.config.main_platform, self.engine,
+            self.config.service_workers, skew(), io_threads,
+        )
+        num_hosts = max(plan.num_shards for _, plan in tenants)
+        self.sparse_servers = [
+            SimServer(
+                f"sparse-{index}", self.config.sparse_platform, self.engine,
+                self.config.service_workers, skew(), io_threads,
+            )
+            for index in range(num_hosts)
+        ]
+        self.completed: dict[int, float] = {}
+        self.on_complete: Callable[[int], None] | None = None
+        self.dropped_requests: list[int] = []
+        self.tenants = [
+            _Tenant(index, model, plan, self.config)
+            for index, (model, plan) in enumerate(tenants)
+        ]
+        # Per-message serde denominators depend only on the cost model and
+        # platforms, which every tenant shares.
+        cm = self.config.cost_model
+        self._serde_denom_main = (
+            cm.serde_bytes_per_sec * self.config.main_platform.relative_clock
+        )
         self._serde_denom_sparse = (
-            cm.serde_bytes_per_sec * sparse_platform.relative_clock
+            cm.serde_bytes_per_sec * self.config.sparse_platform.relative_clock
         )
 
     # -- batching ------------------------------------------------------------
-    def _batches(self, request: Request) -> list[_Batch]:
-        size = self.config.batch_size or self.model.profile.batch_size
+    def _batches(self, tenant: _Tenant, request: Request) -> list[_Batch]:
+        size = self.config.batch_size or tenant.model.profile.batch_size
         count = min(-(-request.num_items // size), self.config.max_batches)
         edges = [
             round(index * request.num_items / count) for index in range(count)
@@ -313,7 +405,7 @@ class ClusterSimulation:
         return counts
 
     def _cached_slice_counts(
-        self, request: Request, batches: list[_Batch]
+        self, tenant: _Tenant, request: Request, batches: list[_Batch]
     ) -> dict[str, list[int]]:
         """Per-table per-batch id counts, memoized on the request.
 
@@ -322,7 +414,7 @@ class ClusterSimulation:
         are computed by the first configuration and reused by the rest.
         """
         key = (
-            self.config.batch_size or self.model.profile.batch_size,
+            self.config.batch_size or tenant.model.profile.batch_size,
             self.config.max_batches,
         )
         counts = request.slice_count_cache.get(key)
@@ -334,7 +426,9 @@ class ClusterSimulation:
             request.slice_count_cache[key] = counts
         return counts
 
-    def _request_plans(self, request: Request, batches: list[_Batch]) -> dict[str, list[_NetBatchPlan]]:
+    def _request_plans(
+        self, tenant: _Tenant, request: Request, batches: list[_Batch]
+    ) -> dict[str, list[_NetBatchPlan]]:
         """Precompute every (net, batch) execution plan for one request.
 
         Pure function of (request, plan, cost model): RPC fan-outs, payload
@@ -343,26 +437,26 @@ class ClusterSimulation:
         state and yields exactly the values the per-batch path drew.
         """
         cm = self.config.cost_model
-        singular = self.plan.is_singular
+        singular = tenant.plan.is_singular
         serde_fixed = cm.serde_fixed
         dispatch_fixed = cm.rpc_dispatch_fixed
         sls_dispatch = cm.sls_dispatch_per_table
-        tbl_client = self._serde_tbl_client
-        tbl_server = self._serde_tbl_server
+        tbl_client = tenant.serde_tbl_client
+        tbl_server = tenant.serde_tbl_server
         denom_main = self._serde_denom_main
         denom_sparse = self._serde_denom_sparse
-        per_id_main = self._per_id_main
-        per_id_sparse = self._per_id_sparse
+        per_id_main = tenant.per_id_main
+        per_id_sparse = tenant.per_id_sparse
         main_platform = self.config.main_platform
-        all_counts = self._cached_slice_counts(request, batches)
+        all_counts = self._cached_slice_counts(tenant, request, batches)
         nb = len(batches)
         batch_range = range(nb)
         items_per_batch = [batch.items for batch in batches]
 
         plans: dict[str, list[_NetBatchPlan]] = {}
-        for net_cfg in self.model.nets:
+        for net_cfg in tenant.model.nets:
             net_name = net_cfg.name
-            net_tables = self.model.tables_for_net(net_name)
+            net_tables = tenant.model.tables_for_net(net_name)
             n_net_tables = len(net_tables)
 
             if singular:
@@ -392,7 +486,7 @@ class ClusterSimulation:
                 ]
                 continue
 
-            routing = self._net_routing[net_name]
+            routing = tenant.net_routing[net_name]
             splits: dict[tuple[str, int, int], np.ndarray] = {}
             batch_targets: list[list[_ShardLookups]] = [[] for _ in batch_range]
             # Distinct active tables per batch (for the zero-fill term):
@@ -509,11 +603,14 @@ class ClusterSimulation:
         return plans
 
     # -- request lifecycle -------------------------------------------------------
-    def submit(self, request: Request) -> Event:
-        """Inject one request now; returns its completion event."""
-        return self.engine.process(self._serve_request(request))
+    def submit(self, request: Request, tenant: int = 0) -> Event:
+        """Inject one request now (for ``tenant``); returns its completion
+        event.  Request ids must be unique across all tenants of a run."""
+        return self.engine.process(
+            self._serve_request(self.tenants[tenant], request)
+        )
 
-    def _serve_request(self, request: Request):
+    def _serve_request(self, tenant: _Tenant, request: Request):
         engine, cm, main = self.engine, self.config.cost_model, self.main
         record = self._record
         rid = request.request_id
@@ -522,7 +619,7 @@ class ClusterSimulation:
         yield main.workers.acquire()
         t0 = engine.now
         deser = cm.serde_time(
-            request_payload_bytes(self.model, request),
+            request_payload_bytes(tenant.model, request),
             main.platform,
             tables=len(request.draws),
         )
@@ -533,10 +630,10 @@ class ClusterSimulation:
         handler_cpu = cm.request_handler_fixed
         main.workers.release()
 
-        batches = self._batches(request)
-        plans = self._request_plans(request, batches)
+        batches = self._batches(tenant, request)
+        plans = self._request_plans(tenant, request, batches)
         batch_events = [
-            engine.process(self._run_batch(request, batch, plans))
+            engine.process(self._run_batch(tenant, request, batch, plans))
             for batch in batches
         ]
         yield engine.all_of(batch_events)
@@ -558,16 +655,22 @@ class ClusterSimulation:
         if self.on_complete is not None:
             self.on_complete(rid)
 
-    def _run_batch(self, request: Request, batch: _Batch, plans: dict[str, list[_NetBatchPlan]]):
+    def _run_batch(
+        self,
+        tenant: _Tenant,
+        request: Request,
+        batch: _Batch,
+        plans: dict[str, list[_NetBatchPlan]],
+    ):
         engine, cm, main = self.engine, self.config.cost_model, self.main
         record = self._record
         rid = request.request_id
         bindex = batch.index
-        singular = self.plan.is_singular
+        singular = tenant.plan.is_singular
         pre_fraction = cm.dense_pre_fraction
         t_batch = engine.now
         yield main.workers.acquire()
-        for net_cfg in self.model.nets:
+        for net_cfg in tenant.model.nets:
             net_name = net_cfg.name
             plan = plans[net_name][bindex]
 
@@ -777,6 +880,30 @@ class ClusterSimulation:
                 yield float(at - previous)
                 previous = at
                 self.submit(request)
+
+        self.engine.process(driver())
+        self.engine.run()
+        self._finish_replay()
+
+    def run_stream(self, stream: Iterable[tuple[float, int, Request]]) -> None:
+        """Mixed open-loop replay: inject ``(arrival_time, tenant, request)``
+        triples in nondecreasing time order (a
+        :class:`~repro.workloads.workload.MixedStream` iterates exactly
+        this shape).  This is the multi-model co-location driver: every
+        tenant's requests contend for the same simulated hosts."""
+
+        def driver():
+            previous = 0.0
+            for at, tenant, request in stream:
+                delay = float(at) - previous
+                if delay < 0.0:
+                    raise ValueError(
+                        f"stream arrivals must be nondecreasing; "
+                        f"{at} follows {previous}"
+                    )
+                yield delay
+                previous = float(at)
+                self.submit(request, int(tenant))
 
         self.engine.process(driver())
         self.engine.run()

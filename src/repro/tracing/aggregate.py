@@ -174,6 +174,11 @@ class AggregatingTracer:
         self.spans_recorded = 0
         self._live: dict[int, _RequestState] = {}
         self._pool: list[_RequestState] = []
+        #: Optional request-id -> workload-index mapping (any integer
+        #: indexable, e.g. a ``MixedStream.workload_ids`` array whose
+        #: positions are request ids).  ``None`` labels every request as
+        #: workload 0 -- the single-workload suites.
+        self.workload_ids = None
         # One-entry lookup cache: spans arrive in per-request bursts
         # (serial replay is a 100% hit), and the dict probe per span is
         # measurable at millions of spans per sweep.
@@ -183,6 +188,7 @@ class AggregatingTracer:
         self._count = 0
         self._e2e = np.empty(capacity)
         self._cpu = np.empty(capacity)
+        self._workload = np.zeros(capacity, dtype=np.int64)
         self._stack_cols: dict[tuple[str, str], np.ndarray] = {
             (kind, bucket): np.empty(capacity)
             for kind, buckets in (
@@ -356,6 +362,10 @@ class AggregatingTracer:
                 self._grow(2 * index)
             self._e2e[index] = e2e
             self._cpu[index] = cpu_total
+            workload_ids = self.workload_ids
+            self._workload[index] = (
+                0 if workload_ids is None else int(workload_ids[request_id])
+            )
             cols = self._stack_cols
             cols["latency", E2E_BUCKETS[0]][index] = dense
             cols["latency", E2E_BUCKETS[1]][index] = embedded
@@ -376,12 +386,13 @@ class AggregatingTracer:
 
     def _grow(self, capacity: int) -> None:
         def grown(array: np.ndarray) -> np.ndarray:
-            out = np.empty(capacity)
+            out = np.empty(capacity, dtype=array.dtype)
             out[: self._count] = array[: self._count]
             return out
 
         self._e2e = grown(self._e2e)
         self._cpu = grown(self._cpu)
+        self._workload = grown(self._workload)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
 
     # -- column export -----------------------------------------------------
@@ -391,14 +402,17 @@ class AggregatingTracer:
 
     def export_columns(
         self,
-    ) -> tuple[int, np.ndarray, np.ndarray, dict[tuple[str, str], np.ndarray]]:
-        """Hand over the backing arrays (count, e2e, cpu, stack columns).
+    ) -> tuple[
+        int, np.ndarray, np.ndarray, dict[tuple[str, str], np.ndarray], np.ndarray
+    ]:
+        """Hand over the backing arrays (count, e2e, cpu, stack columns,
+        workload indices).
 
         The caller (``RunResult.adopt_aggregate``) slices by count; the
         arrays are *not* copied, so a tracer must not be reused after
         export.
         """
-        return self._count, self._e2e, self._cpu, self._stack_cols
+        return self._count, self._e2e, self._cpu, self._stack_cols, self._workload
 
     # -- lifecycle / parity with Tracer ------------------------------------
     def in_flight(self) -> int:

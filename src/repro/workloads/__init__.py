@@ -1,0 +1,37 @@
+"""Workload subsystem: what arrives, when, and for which model.
+
+Composable arrival processes (:mod:`repro.workloads.arrivals`), the
+:class:`Workload` / :class:`WorkloadMix` binding of models to request
+generators and arrival streams, and the correlated sparse-ID stream that
+closes the loop into the caching analysis.  ``ReplaySchedule`` in
+:mod:`repro.requests.replayer` is a thin frozen facade over this package.
+"""
+
+# arrivals must import first: repro.requests.replayer (reached through
+# workload -> generator -> repro.requests.__init__) imports it while this
+# package is still initializing.
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    ConstantRateArrivals,
+    MMPPArrivals,
+    PiecewiseRateArrivals,
+    PoissonArrivals,
+    SerialArrivals,
+    diurnal_qps_curve,
+)
+from repro.workloads.workload import MixedStream, Workload, WorkloadMix
+from repro.requests.access_trace import CorrelatedStream
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRateArrivals",
+    "CorrelatedStream",
+    "MMPPArrivals",
+    "MixedStream",
+    "PiecewiseRateArrivals",
+    "PoissonArrivals",
+    "SerialArrivals",
+    "Workload",
+    "WorkloadMix",
+    "diurnal_qps_curve",
+]

@@ -95,7 +95,7 @@ class TestBatchingProperties:
         config = ServingConfig(seed=1, batch_size=batch_size, max_batches=cap)
         sim = ClusterSimulation(model, singular_plan(model), config)
         request = Request(request_id=0, timestamp=0.0, num_items=items, draws={})
-        batches = sim._batches(request)
+        batches = sim._batches(sim.tenants[0], request)
         assert len(batches) <= cap
         assert batches[0].start_item == 0
         assert batches[-1].stop_item == items
@@ -112,7 +112,7 @@ class TestBatchingProperties:
             model, singular_plan(model), ServingConfig(seed=1, max_batches=8)
         )
         request = Request(0, 0.0, 1000, {})
-        sizes = [b.items for b in sim._batches(request)]
+        sizes = [b.items for b in sim._batches(sim.tenants[0], request)]
         assert max(sizes) - min(sizes) <= 1
 
 
