@@ -1,13 +1,15 @@
 """Simulation fast-path throughput benchmark (``BENCH_throughput.json``).
 
 Times the stages the fast path optimized -- request generation, the DES
-sweep in both trace modes, the parallel sweep runner, and a co-located
-diurnal ``WorkloadMix`` sweep in AGGREGATE mode -- and records
+sweep in both trace modes, the parallel sweep runner, a co-located
+diurnal ``WorkloadMix`` sweep in AGGREGATE mode, and a closed-loop
+``CapacityPlanner`` search over that mix -- and records
 simulated-requests-per-second into ``results/BENCH_throughput.json`` via
 :func:`repro.analysis.bench.record_benchmark`.  CI uploads the JSON as an
 artifact; comparing it across commits is the perf-regression trajectory
 for the experiment pipeline (the ``mix_sweep`` entry starts the
-mixed-workload branch of that trajectory).
+mixed-workload branch of that trajectory, ``plan_sweep`` the
+capacity-planning branch).
 
 ``REPRO_TRACE_MODE`` (``full``/``aggregate``, default ``full``) selects
 the trace mode of the *parallel* sweep and suffixes the artifact name
@@ -42,6 +44,7 @@ from repro.experiments import (
     suite_requests,
 )
 from repro.experiments.parallel import default_workers
+from repro.planning import CandidateSpace, CapacityPlanner
 from repro.sharding.pooling import estimate_pooling_factors
 from repro.models import drm1, drm2
 from repro.requests import RequestGenerator
@@ -199,6 +202,23 @@ def test_perf_throughput():
         per_workload = result.per_workload_e2e()
         assert all(len(v) == BENCH_REQUESTS for v in per_workload.values())
 
+    # 6. Closed-loop capacity-planning search: the same diurnal mix, swept
+    # over the shared configuration matrix and sized at three utilization
+    # targets against its singular-derived SLA (AGGREGATE mode).  This is
+    # the planner's perf trajectory from day one: its cost is dominated by
+    # the candidate simulations, so it tracks the sweep fast path.
+    planner = CapacityPlanner(
+        space=CandidateSpace(configurations=mix_configurations),
+        settings=aggregate_settings,
+    )
+    plan_result, plan_s = _time(lambda: planner.plan(mix))
+    plan_simulated = 2 * BENCH_REQUESTS * len(mix_configurations)
+    plan_rps = plan_simulated / plan_s
+    # Feasibility depends on tail estimates, which tighten with
+    # REPRO_REQUESTS; the artifact records the outcome, the benchmark
+    # only asserts the search ran.
+    chosen = plan_result.chosen
+
     span_bytes = _span_bytes_per_instance()
 
     suffix = "" if trace_mode is TraceMode.FULL else f"_{trace_mode.value}"
@@ -262,6 +282,20 @@ def test_perf_throughput():
                 "wall_s": mix_s,
                 "rps": mix_rps,
             },
+            "plan_sweep": {
+                # Closed-loop SLA-driven deployment search over the same
+                # diurnal DRM1+DRM2 mix: candidate simulation + per-shard
+                # sizing + feasibility filtering, end to end.
+                "configurations": len(mix_configurations),
+                "utilization_targets": len(planner.space.utilization_targets),
+                "candidates": len(plan_result.candidates),
+                "simulated_requests": plan_simulated,
+                "wall_s": plan_s,
+                "rps": plan_rps,
+                "feasible": plan_result.feasible,
+                "chosen": chosen.label if chosen else None,
+                "chosen_servers": chosen.total_servers if chosen else None,
+            },
             "parallel_trace_mode": trace_mode.value,
             "span_bytes_per_instance": span_bytes,
         },
@@ -271,6 +305,9 @@ def test_perf_throughput():
         f"req/s (aggregate, {aggregate_rps / serial_rps:.2f}x), parallel "
         f"{parallel_rps:.0f} req/s ({workers} workers, {trace_mode.value}), "
         f"mix {mix_rps:.0f} req/s (diurnal DRM1+DRM2, aggregate), "
+        f"plan {plan_s:.2f}s ({len(plan_result.candidates)} candidates -> "
+        f"{chosen.label if chosen else 'infeasible'}), "
         f"gen speedup {gen_speedup:.1f}x, span {span_bytes:.0f} B -> {path}"
     )
     assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0 and mix_rps > 0
+    assert plan_rps > 0 and plan_result.candidates

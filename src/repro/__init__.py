@@ -10,8 +10,10 @@ The package provides, as importable subsystems:
 * :mod:`repro.requests` -- production-like request synthesis and replay;
 * :mod:`repro.simulation` -- the discrete-event kernel, platforms,
   network fabric, and calibrated cost model;
-* :mod:`repro.serving` -- the simulated distributed serving stack and
-  replication planner;
+* :mod:`repro.serving` -- the simulated distributed serving stack;
+* :mod:`repro.planning` -- SLA policies, replication/elasticity sizing,
+  and the closed-loop SLA-driven deployment search
+  (:class:`~repro.planning.capacity.CapacityPlanner`);
 * :mod:`repro.tracing` -- the cross-layer distributed tracing framework;
 * :mod:`repro.compression` -- row-wise quantization and pruning;
 * :mod:`repro.analysis` / :mod:`repro.experiments` -- quantile analysis
@@ -35,6 +37,7 @@ from repro.experiments import (
     run_configuration,
     run_suite,
 )
+from repro.planning import CandidateSpace, CapacityPlanner, SlaPolicy
 from repro.serving import ClusterSimulation, ServingConfig
 from repro.sharding import STRATEGIES, ShardingPlan, estimate_pooling_factors, singular_plan
 

@@ -19,11 +19,23 @@ from repro.analysis.quantiles import (
     quantile,
     quantiles,
 )
-from repro.analysis.report import format_stack_bars, format_table, save_artifact
+from repro.analysis.report import (
+    CAPACITY_CANDIDATE_HEADERS,
+    CAPACITY_SIZING_HEADERS,
+    capacity_candidate_rows,
+    capacity_sizing_rows,
+    format_stack_bars,
+    format_table,
+    save_artifact,
+)
 
 __all__ = [
     "CachePoint",
+    "CAPACITY_CANDIDATE_HEADERS",
+    "CAPACITY_SIZING_HEADERS",
     "OverheadPoint",
+    "capacity_candidate_rows",
+    "capacity_sizing_rows",
     "cache_curve",
     "dram_reduction_at_hit_target",
     "frequency_hit_rate",

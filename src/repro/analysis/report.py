@@ -11,6 +11,8 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
+from repro.core.types import GIB
+
 
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
@@ -68,6 +70,66 @@ def format_stack_bars(
             f"{label.ljust(label_width)} |{''.join(bar)}  ({totals[label] / peak:.2f})"
         )
     return "\n".join(lines)
+
+
+def capacity_candidate_rows(candidates) -> list[tuple]:
+    """Table rows for a capacity-planning candidate list (one row per
+    evaluated (configuration, utilization) point).
+
+    Shared by the ``repro plan`` CLI and ``examples/capacity_planning.py``
+    so the two renderings of a :class:`~repro.planning.capacity.MixPlan`
+    cannot drift.  Headers: configuration, util, servers, pinned GiB,
+    fits DRAM, meets SLA, worst drop.
+    """
+    return [
+        (
+            candidate.label,
+            f"{candidate.utilization_target:.0%}",
+            candidate.total_servers,
+            round(candidate.total_memory_bytes / GIB, 1),
+            "yes" if candidate.fits_memory else "NO",
+            "yes" if candidate.meets_sla else "NO",
+            f"{candidate.worst_drop_rate:.1%}",
+        )
+        for candidate in candidates
+    ]
+
+
+CAPACITY_CANDIDATE_HEADERS = [
+    "configuration", "util", "servers", "pinned GiB", "fits DRAM",
+    "meets SLA", "worst drop",
+]
+
+
+def capacity_sizing_rows(sizings) -> list[tuple]:
+    """Table rows for a chosen candidate's per-workload sizings.
+
+    Headers: workload, model, peak QPS, main replicas, sparse
+    replicas/shard, standalone GiB, drop rate, P50 headroom.
+    """
+    return [
+        (
+            sizing.workload,
+            sizing.model_name,
+            round(sizing.qps, 1),
+            sizing.standalone.main_replicas,
+            " ".join(
+                str(count)
+                for _, count in sorted(sizing.standalone.sparse_replicas.items())
+            )
+            or "-",
+            round(sizing.standalone.total_memory_bytes / GIB, 1),
+            f"{sizing.sla.drop_rate:.1%}",
+            f"{sizing.sla.headroom_p50:.2f}x",
+        )
+        for sizing in sizings
+    ]
+
+
+CAPACITY_SIZING_HEADERS = [
+    "workload", "model", "peak QPS", "main replicas", "sparse replicas/shard",
+    "standalone GiB", "drop rate", "P50 headroom",
+]
 
 
 def save_artifact(name: str, content: str, results_dir: str | None = None) -> str:

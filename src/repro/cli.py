@@ -10,6 +10,11 @@ Exposes the library's main workflows without writing code:
 * ``workload`` -- co-locate several models under a chosen arrival process
   (poisson / constant / diurnal / mmpp) and print per-workload latency,
   optionally with a cache-aware correlated-stream hit-rate summary;
+* ``plan``     -- closed-loop capacity planning: simulate every candidate
+  sharding configuration under the mix's arrival processes, check the
+  latency SLA per workload, size replicas from measured per-shard CPU
+  demand, enforce per-server DRAM capacity, and print the cheapest
+  feasible deployment;
 * ``trace``    -- replay one request and render the Figure-3 timeline.
 """
 
@@ -21,7 +26,13 @@ import sys
 import numpy as np
 
 from repro.analysis.caching import trace_hit_summary
-from repro.analysis.report import format_table
+from repro.analysis.report import (
+    CAPACITY_CANDIDATE_HEADERS,
+    CAPACITY_SIZING_HEADERS,
+    capacity_candidate_rows,
+    capacity_sizing_rows,
+    format_table,
+)
 from repro.core.types import GIB
 from repro.experiments.configs import ShardingConfiguration, build_plan
 from repro.experiments.parallel import run_suite_parallel
@@ -33,6 +44,7 @@ from repro.experiments.runner import (
     SuiteSettings,
 )
 from repro.models.zoo import MODEL_FACTORIES, build
+from repro.planning import CandidateSpace, CapacityPlanner, SlaPolicy
 from repro.requests.generator import RequestGenerator
 from repro.serving.simulator import ClusterSimulation, ServingConfig
 from repro.sharding.plan import SINGULAR
@@ -310,6 +322,71 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    workloads = []
+    for index, name in enumerate(args.models):
+        workloads.append(
+            Workload(
+                name=f"{name.lower()}-{index}" if args.models.count(name) > 1 else name,
+                model=build(name),
+                arrivals=_arrival_process(args, index),
+                request_seed=args.seed + index,
+            )
+        )
+    mix = WorkloadMix(tuple(workloads))
+    planner = CapacityPlanner(
+        policy=SlaPolicy(args.target_ms / 1e3) if args.target_ms else None,
+        space=CandidateSpace(utilization_targets=tuple(args.utilization)),
+        settings=SuiteSettings(
+            num_requests=args.requests,
+            pooling_requests=args.pooling_requests,
+            serving=ServingConfig(seed=args.seed),
+            trace_mode=_trace_mode(args),
+        ),
+        slack=args.slack,
+    )
+    plan = planner.plan(
+        mix,
+        parallel=args.parallel or args.workers is not None,
+        max_workers=args.workers,
+    )
+    print(
+        f"SLA window: {plan.policy.target_latency * 1e3:.3f} ms "
+        + ("(explicit)" if args.target_ms else f"(singular P99 x {args.slack})")
+    )
+    print(
+        format_table(
+            CAPACITY_CANDIDATE_HEADERS,
+            capacity_candidate_rows(plan.candidates),
+            title=(
+                f"closed-loop search: {'+'.join(w.model.name for w in mix.workloads)} "
+                f"under {args.arrivals} arrivals (sizing peaks: "
+                + ", ".join(
+                    f"{w.arrivals.peak_rate():g} QPS" for w in mix.workloads
+                )
+                + ")"
+            ),
+        )
+    )
+    if not plan.feasible:
+        print("\nno feasible deployment: no candidate meets the SLA within DRAM capacity")
+        return 1
+    chosen = plan.chosen
+    print(
+        f"\nchosen: {chosen.label} at {chosen.utilization_target:.0%} utilization "
+        f"-- {chosen.total_servers} servers, "
+        f"{chosen.total_memory_bytes / GIB:.1f} GiB pinned"
+    )
+    print(
+        format_table(
+            CAPACITY_SIZING_HEADERS,
+            capacity_sizing_rows(chosen.workloads),
+            title="per-workload sizing (label-column demand, own sharding plan)",
+        )
+    )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     model = build(args.model)
     pooling = estimate_pooling_factors(model, num_requests=args.pooling_requests)
@@ -377,36 +454,41 @@ def build_parser() -> argparse.ArgumentParser:
         "models is simulated on shared hosts.  Prints per-workload and "
         "overall latency quantiles.",
     )
-    workload.add_argument(
-        "--models", nargs="+", default=["DRM1", "DRM2"],
-        choices=sorted(MODEL_FACTORIES),
-        help="one workload per named model (repeat a name to co-locate "
-        "two instances of the same model)",
-    )
-    workload.add_argument(
-        "--arrivals", default="diurnal",
-        choices=["poisson", "constant", "diurnal", "mmpp"],
-        help="arrival process per workload: 'poisson' fixed-QPS open loop, "
-        "'constant' deterministic gaps, 'diurnal' non-homogeneous Poisson "
-        "over the sinusoidal day curve, 'mmpp' bursty Markov-modulated "
-        "Poisson alternating qps/2 and 2*qps states",
-    )
-    workload.add_argument(
-        "--qps", type=float, default=40.0,
-        help="rate per workload: the fixed/constant rate, the diurnal peak, "
-        "or the MMPP anchor rate",
-    )
-    workload.add_argument(
-        "--trough-fraction", type=float, default=0.35,
-        help="diurnal trough as a fraction of peak QPS",
-    )
-    workload.add_argument(
-        "--hours", type=int, default=24, help="length of the diurnal curve"
-    )
-    workload.add_argument(
-        "--dwell-seconds", type=float, default=60.0,
-        help="mean MMPP state dwell time",
-    )
+    def add_mix_arguments(sub: argparse.ArgumentParser) -> None:
+        """Multi-model + arrival-process arguments shared by the workload
+        and plan commands."""
+        sub.add_argument(
+            "--models", nargs="+", default=["DRM1", "DRM2"],
+            choices=sorted(MODEL_FACTORIES),
+            help="one workload per named model (repeat a name to co-locate "
+            "two instances of the same model)",
+        )
+        sub.add_argument(
+            "--arrivals", default="diurnal",
+            choices=["poisson", "constant", "diurnal", "mmpp"],
+            help="arrival process per workload: 'poisson' fixed-QPS open loop, "
+            "'constant' deterministic gaps, 'diurnal' non-homogeneous Poisson "
+            "over the sinusoidal day curve, 'mmpp' bursty Markov-modulated "
+            "Poisson alternating qps/2 and 2*qps states",
+        )
+        sub.add_argument(
+            "--qps", type=float, default=40.0,
+            help="rate per workload: the fixed/constant rate, the diurnal peak, "
+            "or the MMPP anchor rate",
+        )
+        sub.add_argument(
+            "--trough-fraction", type=float, default=0.35,
+            help="diurnal trough as a fraction of peak QPS",
+        )
+        sub.add_argument(
+            "--hours", type=int, default=24, help="length of the diurnal curve"
+        )
+        sub.add_argument(
+            "--dwell-seconds", type=float, default=60.0,
+            help="mean MMPP state dwell time",
+        )
+
+    add_mix_arguments(workload)
     workload.add_argument(
         "--strategy", default="load-bal",
         choices=[SINGULAR, "1-shard", "load-bal", "cap-bal", "NSBP"],
@@ -436,6 +518,50 @@ def build_parser() -> argparse.ArgumentParser:
         "(--cache-summary streams)",
     )
     workload.set_defaults(func=cmd_workload)
+
+    plan = commands.add_parser(
+        "plan",
+        help="closed-loop SLA-driven capacity planning over a workload mix",
+        description="Search the deployment space (sharding configuration x "
+        "utilization target) for the cheapest deployment that meets a "
+        "latency SLA: each candidate is simulated under the mix's arrival "
+        "processes (co-location contention included), checked per workload "
+        "against the SLA, sized from measured per-shard CPU demand, and "
+        "required to fit every server's pinned bytes in platform DRAM.  "
+        "Exits 1 when no candidate qualifies.",
+    )
+    add_mix_arguments(plan)
+    plan.add_argument(
+        "--requests", type=int, default=60, help="request count per workload"
+    )
+    plan.add_argument("--pooling-requests", type=int, default=300)
+    plan.add_argument("--seed", type=int, default=1)
+    _add_trace_mode_argument(plan)
+    plan.add_argument(
+        "--target-ms", type=float, default=None,
+        help="explicit SLA window in milliseconds; default derives it from "
+        "the mix's own singular baseline (P99 x slack)",
+    )
+    plan.add_argument(
+        "--slack", type=float, default=1.5,
+        help="headroom multiplier for the derived SLA window (ignored with "
+        "--target-ms)",
+    )
+    plan.add_argument(
+        "--utilization", nargs="+", type=float, default=[0.4, 0.6, 0.8],
+        help="candidate utilization ceilings, headroom-first (ties resolve "
+        "toward the first listed)",
+    )
+    plan.add_argument(
+        "--parallel", action="store_true",
+        help="evaluate candidate configurations over worker processes "
+        "(identical plan to the serial search)",
+    )
+    plan.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-process cap; implies --parallel",
+    )
+    plan.set_defaults(func=cmd_plan)
 
     trace = commands.add_parser("trace", help="render one request's trace")
     add_plan_arguments(trace)

@@ -15,9 +15,10 @@ Sizing and throughput knobs
   to the serial :func:`~repro.experiments.runner.run_suite`.
 * ``SuiteSettings.trace_mode`` / ``ServingConfig.trace_mode`` --
   :class:`~repro.tracing.aggregate.TraceMode.AGGREGATE` runs sweeps with
-  the span-free tracer: identical e2e/cpu/stack columns, no retained
-  per-request attributions (so no per-shard breakdowns), and markedly
-  faster large sweeps.  The CLI exposes it as ``--trace-mode``.
+  the span-free tracer: identical e2e/cpu/stack *and per-shard demand*
+  columns, no retained per-request attributions (only the per-(shard,
+  net) breakdown of Figure 10 still needs FULL), and markedly faster
+  large sweeps.  The CLI exposes it as ``--trace-mode``.
 * ``results/BENCH_throughput.json`` -- simulated-requests-per-second
   trajectory (full + aggregate trace modes, plus the co-located diurnal
   ``mix_sweep`` entry), rewritten by

@@ -73,8 +73,9 @@ class RunResult:
     incrementally as requests complete (grown by doubling).  Figure
     generation therefore reads ready-made arrays instead of rebuilding
     them from the list of :class:`RequestAttribution` dataclasses on
-    every access; the full attributions are retained for the per-shard
-    breakdowns and ad-hoc inspection.
+    every access.  Per-shard CPU-demand and sparse-op-time columns are
+    filled in both trace modes; the full attributions are retained (FULL
+    mode only) for the per-(shard, net) breakdown and ad-hoc inspection.
     """
 
     _COLUMN_BUCKETS = {
@@ -114,6 +115,14 @@ class RunResult:
             for kind, buckets in self._COLUMN_BUCKETS.items()
             for bucket in buckets
         }
+        # Per-shard demand columns, keyed by shard index (MAIN_SHARD = -1):
+        # per-request CPU-seconds by shard, and per-request sparse-operator
+        # time by sparse shard.  Lazily created, zero-filled (a request that
+        # never touched a shard contributes exactly 0.0), populated in both
+        # FULL and AGGREGATE trace modes -- the replication planner's
+        # demand signal.
+        self._shard_cpu_cols: dict[int, np.ndarray] = {}
+        self._shard_op_cols: dict[int, np.ndarray] = {}
 
     def _grow(self, capacity: int) -> None:
         def grown(array: np.ndarray) -> np.ndarray:
@@ -121,10 +130,27 @@ class RunResult:
             out[: self._count] = array[: self._count]
             return out
 
+        def grown_zeros(array: np.ndarray) -> np.ndarray:
+            out = np.zeros(capacity, dtype=array.dtype)
+            out[: self._count] = array[: self._count]
+            return out
+
         self._e2e = grown(self._e2e)
         self._cpu = grown(self._cpu)
         self._workload = grown(self._workload)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
+        self._shard_cpu_cols = {
+            key: grown_zeros(col) for key, col in self._shard_cpu_cols.items()
+        }
+        self._shard_op_cols = {
+            key: grown_zeros(col) for key, col in self._shard_op_cols.items()
+        }
+
+    def _shard_column(self, cols: dict[int, np.ndarray], shard: int) -> np.ndarray:
+        col = cols.get(shard)
+        if col is None:
+            col = cols[shard] = np.zeros(len(self._e2e))
+        return col
 
     def add(self, attribution: RequestAttribution, workload: int = 0) -> None:
         """Append one completed request's attribution."""
@@ -142,6 +168,10 @@ class RunResult:
             cols["embedded", bucket][index] = value
         for bucket, value in attribution.cpu_stack.items():
             cols["cpu", bucket][index] = value
+        for shard, value in attribution.per_shard_cpu.items():
+            self._shard_column(self._shard_cpu_cols, shard)[index] = value
+        for shard, value in attribution.per_shard_op_time.items():
+            self._shard_column(self._shard_op_cols, shard)[index] = value
         self._count = index + 1
 
     def __len__(self) -> int:
@@ -219,10 +249,14 @@ class RunResult:
         The tracer attributed every completed request straight into the
         same column layout this class preallocates, so adoption is a
         pointer handoff -- no per-request dataclasses were ever built.
-        ``attributions`` stays empty: per-shard breakdowns need FULL
-        traces (the per-shard means below return ``{}`` accordingly).
+        ``attributions`` stays empty; the per-shard demand columns are
+        adopted too, so :meth:`mean_cpu_by_shard` and
+        :meth:`mean_per_shard_op_time` work identically in both trace
+        modes (only the per-(shard, net) breakdown still needs FULL).
         """
-        count, e2e, cpu, stack_cols, workload = tracer.export_columns()
+        count, e2e, cpu, stack_cols, workload, shard_cpu, shard_op = (
+            tracer.export_columns()
+        )
         if set(stack_cols) != set(self._stack_cols):
             raise ValueError("aggregate tracer columns do not match RunResult layout")
         self._count = count
@@ -230,21 +264,56 @@ class RunResult:
         self._cpu = cpu
         self._workload = workload
         self._stack_cols = stack_cols
+        self._shard_cpu_cols = shard_cpu
+        self._shard_op_cols = shard_op
 
-    def mean_per_shard_op_time(self) -> dict[int, float]:
-        """Mean per-shard sparse-operator time; ``{}`` without attributions
-        (zero completed requests, or AGGREGATE trace mode)."""
-        if not self.attributions:
+    # -- per-shard demand (both trace modes) -------------------------------
+    def _mean_shard_columns(
+        self, cols: dict[int, np.ndarray], workload: str | None
+    ) -> dict[int, float]:
+        """Per-shard column means over completed requests, sorted by shard.
+
+        Sums are strictly sequential in completion order (``np.cumsum``),
+        reproducing the historical per-attribution Python accumulation
+        bit-for-bit; untouched requests contribute exact ``+0.0`` terms,
+        which never perturb a float sum.
+        """
+        count = self._count
+        if count == 0 or not cols:
             return {}
-        totals: dict[int, float] = {}
-        for attribution in self.attributions:
-            for shard, value in attribution.per_shard_op_time.items():
-                totals[shard] = totals.get(shard, 0.0) + value
-        return {shard: v / len(self.attributions) for shard, v in sorted(totals.items())}
+        if workload is None:
+            return {
+                shard: float(np.cumsum(cols[shard][:count])[-1]) / count
+                for shard in sorted(cols)
+            }
+        mask = self.workload_mask(workload)
+        selected = int(np.count_nonzero(mask))
+        if selected == 0:
+            return {}
+        return {
+            shard: float(np.cumsum(cols[shard][:count][mask])[-1]) / selected
+            for shard in sorted(cols)
+        }
+
+    def mean_cpu_by_shard(self, workload: str | None = None) -> dict[int, float]:
+        """Mean per-request CPU-seconds by shard (``MAIN_SHARD`` = -1).
+
+        The replication planner's demand signal, available in FULL *and*
+        AGGREGATE trace modes.  With ``workload`` set, only that tenant's
+        requests (label column) are averaged -- the per-tenant demand of a
+        co-located mix.  ``{}`` when no matching request completed.
+        """
+        return self._mean_shard_columns(self._shard_cpu_cols, workload)
+
+    def mean_per_shard_op_time(self, workload: str | None = None) -> dict[int, float]:
+        """Mean per-shard sparse-operator time (both trace modes); ``{}``
+        when no matching request completed."""
+        return self._mean_shard_columns(self._shard_op_cols, workload)
 
     def mean_per_shard_net_op_time(self) -> dict[tuple[int, str], float]:
         """Mean per-(shard, net) operator time; ``{}`` without attributions
-        (zero completed requests, or AGGREGATE trace mode)."""
+        (zero completed requests, or AGGREGATE trace mode -- the one
+        breakdown that still requires retained FULL attributions)."""
         if not self.attributions:
             return {}
         totals: dict[tuple[int, str], float] = {}

@@ -1,0 +1,60 @@
+"""Capacity planning: SLA policies, replication sizing, elasticity, and
+the closed-loop deployment search.
+
+This package absorbs and supersedes the open-loop planners that lived in
+``repro.serving`` (``sla.py``, ``replication.py``, ``elasticity.py`` --
+kept there as thin deprecation re-export shims) and adds the closed loop
+on top: :class:`CapacityPlanner` simulates candidate deployments of a
+:class:`~repro.workloads.workload.WorkloadMix` under its real arrival
+processes, checks the SLA per workload, sizes each candidate from the
+measured per-shard CPU-demand columns (FULL and AGGREGATE trace modes
+alike), enforces per-server DRAM capacity, and returns the cheapest
+feasible plan.
+"""
+
+from repro.planning.capacity import (
+    CandidatePlan,
+    CandidateSpace,
+    CapacityPlanner,
+    MixPlan,
+    NoFeasiblePlanError,
+    PlanningError,
+    WorkloadSizing,
+)
+from repro.planning.elasticity import (
+    ElasticityReport,
+    assess_elasticity,
+    diurnal_qps_curve,
+    dram_hours_saved,
+)
+from repro.planning.replication import (
+    PerShardDemandError,
+    ReplicationDemand,
+    ReplicationPlan,
+    memory_efficiency_vs_singular,
+    plan_replication,
+)
+from repro.planning.sla import SlaPolicy, SlaReport, evaluate_sla, sla_sweep
+
+__all__ = [
+    "CandidatePlan",
+    "CandidateSpace",
+    "CapacityPlanner",
+    "ElasticityReport",
+    "MixPlan",
+    "NoFeasiblePlanError",
+    "PerShardDemandError",
+    "PlanningError",
+    "ReplicationDemand",
+    "ReplicationPlan",
+    "SlaPolicy",
+    "SlaReport",
+    "WorkloadSizing",
+    "assess_elasticity",
+    "diurnal_qps_curve",
+    "dram_hours_saved",
+    "evaluate_sla",
+    "memory_efficiency_vs_singular",
+    "plan_replication",
+    "sla_sweep",
+]

@@ -1,0 +1,119 @@
+"""Diurnal elasticity of serving deployments (paper Section I).
+
+The paper motivates homogeneous-infrastructure serving with elasticity:
+"clusters with specialized configurations cannot easily expand resources
+during periods of high activity or efficiently shrink resources during
+periods of low activity.  This is particularly true of workloads affected
+by diurnal traffic patterns."
+
+This module quantifies that argument: given a diurnal QPS curve -- either
+a raw per-hour array or, arrival-conditioned, the *same*
+:class:`~repro.workloads.arrivals.PiecewiseRateArrivals` process that
+replayed the traffic -- size the deployment step by step with the
+replication planner and compare the resource-hours (servers, DRAM) of
+singular versus distributed serving.  Because a singular replica pins the
+whole model, scaling it with traffic is memory-expensive; distributed
+serving scales dense main-shard replicas elastically while the sparse
+tier stays nearly constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.planning.replication import ReplicationDemand, plan_replication
+
+# The diurnal curve lives (generalized) in the workload subsystem so
+# elasticity sizing and diurnal arrival replay share one definition.
+from repro.workloads.arrivals import PiecewiseRateArrivals, diurnal_qps_curve  # noqa: F401
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import RunResult
+
+_HOUR_SECONDS = 3600.0
+
+
+@dataclass
+class ElasticityReport:
+    """Resource-hours of one deployment across a diurnal day."""
+
+    label: str
+    server_hours: float
+    dram_byte_hours: float
+    peak_servers: int
+    trough_servers: int
+    hourly_servers: list[int] = field(default_factory=list)
+
+    @property
+    def elasticity_ratio(self) -> float:
+        """Peak-to-trough server ratio -- how much the tier breathes.
+
+        Well-defined on degenerate inputs: an empty curve (no deployment
+        ever sized, ``peak_servers == 0``) does not breathe and reports
+        ``1.0``; a zero-server trough is clamped to one server, since a
+        tier cannot shrink below a single replica.
+        """
+        if self.peak_servers <= 0:
+            return 1.0
+        return self.peak_servers / max(1, self.trough_servers)
+
+
+def assess_elasticity(
+    model: ModelConfig,
+    result: "RunResult",
+    qps_curve: "np.ndarray | Sequence[float] | PiecewiseRateArrivals",
+    utilization_target: float = 0.6,
+    workers_per_replica: int = 32,
+    workload: str | None = None,
+) -> ElasticityReport:
+    """Size ``result``'s configuration for every step of the curve.
+
+    ``qps_curve`` is either an array of per-hour QPS samples (the
+    historical interface) or a
+    :class:`~repro.workloads.arrivals.PiecewiseRateArrivals` process, in
+    which case sizing consumes the *identical* rate function the arrival
+    replay drew from -- each segment weighted by its real duration
+    (``interval_seconds``), so resource-hours stay calibrated whatever
+    the curve resolution.  ``workload`` sizes one tenant of a co-located
+    mix from its own label-column demand.
+    """
+    if isinstance(qps_curve, PiecewiseRateArrivals):
+        rates: Sequence[float] = qps_curve.rates
+        step_hours = qps_curve.interval_seconds / _HOUR_SECONDS
+    else:
+        rates = np.asarray(qps_curve, dtype=float)
+        step_hours = 1.0
+    server_hours = 0.0
+    dram_byte_hours = 0.0
+    hourly = []
+    for qps in rates:
+        demand = ReplicationDemand(
+            qps=float(qps),
+            utilization_target=utilization_target,
+            workers_per_replica=workers_per_replica,
+        )
+        deployment = plan_replication(model, result, demand, workload=workload)
+        hourly.append(deployment.total_servers)
+        server_hours += deployment.total_servers * step_hours
+        dram_byte_hours += deployment.total_memory_bytes * step_hours
+    return ElasticityReport(
+        label=result.label if workload is None else f"{result.label} / {workload}",
+        server_hours=server_hours,
+        dram_byte_hours=dram_byte_hours,
+        peak_servers=max(hourly, default=0),
+        trough_servers=min(hourly, default=0),
+        hourly_servers=hourly,
+    )
+
+
+def dram_hours_saved(
+    singular: ElasticityReport, distributed: ElasticityReport
+) -> float:
+    """Factor of DRAM-hours the distributed deployment saves over a day."""
+    if distributed.dram_byte_hours <= 0:
+        raise ValueError("distributed deployment has no DRAM accounted")
+    return singular.dram_byte_hours / distributed.dram_byte_hours

@@ -1,4 +1,10 @@
-"""Serving substrate: simulated servers, services, replay, replication."""
+"""Serving substrate: simulated servers, services, and replay.
+
+The planners that historically lived here (SLA accounting, replication
+sizing, elasticity) moved to :mod:`repro.planning`; their old
+``repro.serving.*`` paths and the names below keep working as
+deprecation re-exports of the identical objects.
+"""
 
 from repro.serving.replication import (
     ReplicationDemand,

@@ -1,91 +1,24 @@
-"""Diurnal elasticity of serving deployments (paper Section I).
+"""Deprecated location -- elasticity analysis moved to
+:mod:`repro.planning.elasticity`.
 
-The paper motivates homogeneous-infrastructure serving with elasticity:
-"clusters with specialized configurations cannot easily expand resources
-during periods of high activity or efficiently shrink resources during
-periods of low activity.  This is particularly true of workloads affected
-by diurnal traffic patterns."
-
-This module quantifies that argument: given a diurnal QPS curve, size the
-deployment hour by hour with the replication planner and compare the
-resource-hours (servers, DRAM) of singular versus distributed serving.
-Because a singular replica pins the whole model, scaling it with traffic
-is memory-expensive; distributed serving scales dense main-shard replicas
-elastically while the sparse tier stays nearly constant.
+This shim keeps the historical ``repro.serving.elasticity`` import path
+working: every name re-exported here *is* the object defined in the
+planning package (identity-tested), including the
+:func:`~repro.workloads.arrivals.diurnal_qps_curve` re-export that
+predates the planning package.  Import from :mod:`repro.planning` in new
+code.
 """
 
-from __future__ import annotations
+from repro.planning.elasticity import (
+    ElasticityReport,
+    assess_elasticity,
+    diurnal_qps_curve,
+    dram_hours_saved,
+)
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
-
-import numpy as np
-
-from repro.models.config import ModelConfig
-from repro.serving.replication import ReplicationDemand, plan_replication
-
-# Deprecated alias: the diurnal curve now lives (generalized) in the
-# workload subsystem so elasticity sizing and diurnal arrival replay share
-# one definition.  Import it from ``repro.workloads`` in new code; this
-# re-export keeps the historical spelling working.
-from repro.workloads.arrivals import diurnal_qps_curve  # noqa: F401
-
-if TYPE_CHECKING:
-    from repro.experiments.runner import RunResult
-
-
-@dataclass
-class ElasticityReport:
-    """Resource-hours of one deployment across a diurnal day."""
-
-    label: str
-    server_hours: float
-    dram_byte_hours: float
-    peak_servers: int
-    trough_servers: int
-    hourly_servers: list[int] = field(default_factory=list)
-
-    @property
-    def elasticity_ratio(self) -> float:
-        """Peak-to-trough server ratio -- how much the tier breathes."""
-        return self.peak_servers / max(1, self.trough_servers)
-
-
-def assess_elasticity(
-    model: ModelConfig,
-    result: "RunResult",
-    qps_curve: np.ndarray,
-    utilization_target: float = 0.6,
-    workers_per_replica: int = 32,
-) -> ElasticityReport:
-    """Size ``result``'s configuration for every hour of the curve."""
-    server_hours = 0.0
-    dram_byte_hours = 0.0
-    hourly = []
-    for qps in qps_curve:
-        demand = ReplicationDemand(
-            qps=float(qps),
-            utilization_target=utilization_target,
-            workers_per_replica=workers_per_replica,
-        )
-        deployment = plan_replication(model, result, demand)
-        hourly.append(deployment.total_servers)
-        server_hours += deployment.total_servers
-        dram_byte_hours += deployment.total_memory_bytes
-    return ElasticityReport(
-        label=result.label,
-        server_hours=server_hours,
-        dram_byte_hours=dram_byte_hours,
-        peak_servers=max(hourly),
-        trough_servers=min(hourly),
-        hourly_servers=hourly,
-    )
-
-
-def dram_hours_saved(
-    singular: ElasticityReport, distributed: ElasticityReport
-) -> float:
-    """Factor of DRAM-hours the distributed deployment saves over a day."""
-    if distributed.dram_byte_hours <= 0:
-        raise ValueError("distributed deployment has no DRAM accounted")
-    return singular.dram_byte_hours / distributed.dram_byte_hours
+__all__ = [
+    "ElasticityReport",
+    "assess_elasticity",
+    "diurnal_qps_curve",
+    "dram_hours_saved",
+]

@@ -1,121 +1,24 @@
-"""Replication planning in the data-center (paper Section VII-C).
+"""Deprecated location -- replication planning moved to
+:mod:`repro.planning.replication`.
 
-Serving tiers replicate model instances to meet aggregate QPS.  For a
-singular deployment, replicating for *compute* drags the entire memory
-footprint along: "the large load incurred by the dense layers will cause
-the entire model to be replicated to additional servers, including all
-embedding tables".  Distributed inference decouples the two: main-shard
-replicas carry only dense parameters, sparse-shard replicas carry only
-their tables and replicate by their own (much lower) compute demand.
-
-This planner sizes a deployment from measured per-request CPU (a
-:class:`~repro.experiments.runner.RunResult`), a QPS target, and a
-utilization ceiling, and reports the replica counts and the total DRAM
-the deployment pins -- the efficiency argument of Section VII-C.
+This shim keeps the historical ``repro.serving.replication`` import path
+working: every name re-exported here *is* the object defined in the
+planning package (identity-tested).  Import from :mod:`repro.planning`
+in new code.
 """
 
-from __future__ import annotations
+from repro.planning.replication import (
+    PerShardDemandError,
+    ReplicationDemand,
+    ReplicationPlan,
+    memory_efficiency_vs_singular,
+    plan_replication,
+)
 
-import math
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
-
-from repro.models.config import ModelConfig
-from repro.simulation.platform import SC_LARGE, Platform
-from repro.tracing.span import MAIN_SHARD
-
-if TYPE_CHECKING:  # imported lazily to avoid a cycle with the runner
-    from repro.experiments.runner import RunResult
-
-
-@dataclass(frozen=True)
-class ReplicationDemand:
-    """Sizing inputs for one deployment."""
-
-    qps: float
-    utilization_target: float = 0.6
-    workers_per_replica: int = 32
-    platform: Platform = SC_LARGE
-
-    def __post_init__(self):
-        if self.qps <= 0:
-            raise ValueError("qps must be positive")
-        if not 0 < self.utilization_target <= 1:
-            raise ValueError("utilization_target must be in (0, 1]")
-
-
-@dataclass
-class ReplicationPlan:
-    """Replica counts and memory footprint for one configuration."""
-
-    label: str
-    main_replicas: int
-    sparse_replicas: dict[int, int] = field(default_factory=dict)
-    main_memory_bytes: float = 0.0
-    sparse_memory_bytes: float = 0.0
-
-    @property
-    def total_servers(self) -> int:
-        return self.main_replicas + sum(self.sparse_replicas.values())
-
-    @property
-    def total_memory_bytes(self) -> float:
-        return self.main_memory_bytes + self.sparse_memory_bytes
-
-
-def _mean_cpu_by_shard(result: "RunResult") -> dict[int, float]:
-    totals: dict[int, float] = {}
-    for attribution in result.attributions:
-        for shard, cpu in attribution.per_shard_cpu.items():
-            totals[shard] = totals.get(shard, 0.0) + cpu
-    count = len(result.attributions)
-    return {shard: total / count for shard, total in totals.items()}
-
-
-def _replicas_for(cpu_per_request: float, demand: ReplicationDemand) -> int:
-    capacity = demand.workers_per_replica * demand.utilization_target
-    return max(1, math.ceil(demand.qps * cpu_per_request / capacity))
-
-
-def plan_replication(
-    model: ModelConfig, result: "RunResult", demand: ReplicationDemand
-) -> ReplicationPlan:
-    """Size a deployment of ``result``'s configuration for ``demand``.
-
-    Memory accounting follows the paper: every main replica of a singular
-    deployment pins the full model; a distributed main replica pins only
-    the dense parameters; each sparse-shard replica pins its shard.
-    """
-    cpu_by_shard = _mean_cpu_by_shard(result)
-    main_replicas = _replicas_for(cpu_by_shard.get(MAIN_SHARD, 0.0), demand)
-
-    plan = result.plan
-    if plan.is_singular:
-        return ReplicationPlan(
-            label=result.label,
-            main_replicas=main_replicas,
-            main_memory_bytes=main_replicas * model.total_bytes,
-        )
-
-    sparse_replicas: dict[int, int] = {}
-    sparse_memory = 0.0
-    for shard in plan.shards:
-        replicas = _replicas_for(cpu_by_shard.get(shard.index, 0.0), demand)
-        sparse_replicas[shard.index] = replicas
-        sparse_memory += replicas * shard.capacity_bytes(model)
-    return ReplicationPlan(
-        label=result.label,
-        main_replicas=main_replicas,
-        sparse_replicas=sparse_replicas,
-        main_memory_bytes=main_replicas * model.dense_param_bytes,
-        sparse_memory_bytes=sparse_memory,
-    )
-
-
-def memory_efficiency_vs_singular(
-    singular: ReplicationPlan, distributed: ReplicationPlan
-) -> float:
-    """How many times less DRAM the distributed deployment pins."""
-    if distributed.total_memory_bytes <= 0:
-        raise ValueError("distributed plan has no memory accounted")
-    return singular.total_memory_bytes / distributed.total_memory_bytes
+__all__ = [
+    "PerShardDemandError",
+    "ReplicationDemand",
+    "ReplicationPlan",
+    "memory_efficiency_vs_singular",
+    "plan_replication",
+]

@@ -1,78 +1,12 @@
-"""SLA accounting and fallback-drop modeling (paper Section II).
+"""Deprecated location -- SLA accounting moved to :mod:`repro.planning.sla`.
 
-"In order to provide a satisfactory user experience, recommendation
-results are expected within a timed window.  This strict latency
-constraint defines the service-level agreement (SLA).  If SLA targets
-cannot be satisfied, the inference request is dropped in favor of a
-potentially lower quality recommendation result."
-
-This module evaluates measured latency samples against an SLA policy:
-what fraction of requests would have fallen back, per configuration --
-the serving-quality lens on the latency overheads of Figures 6/7/16.
+This shim keeps the historical ``repro.serving.sla`` import path working:
+every name re-exported here *is* the object defined in the planning
+package (identity-tested), so isinstance checks and equality across the
+two spellings keep holding.  Import from :mod:`repro.planning` in new
+code.
 """
 
-from __future__ import annotations
+from repro.planning.sla import SlaPolicy, SlaReport, evaluate_sla, sla_sweep
 
-from dataclasses import dataclass
-
-import numpy as np
-
-
-@dataclass(frozen=True)
-class SlaPolicy:
-    """A latency SLA: requests slower than ``target_latency`` fall back."""
-
-    target_latency: float
-
-    def __post_init__(self):
-        if self.target_latency <= 0:
-            raise ValueError("target_latency must be positive")
-
-    @classmethod
-    def from_baseline_quantile(
-        cls, baseline_latencies, quantile: float = 99.0, slack: float = 1.2
-    ) -> "SlaPolicy":
-        """Derive an SLA from a baseline configuration's tail, with slack.
-
-        Production SLAs are set so the healthy configuration comfortably
-        meets them; ``slack`` models that headroom.
-        """
-        target = float(np.percentile(np.asarray(baseline_latencies, float), quantile))
-        return cls(target_latency=target * slack)
-
-
-@dataclass(frozen=True)
-class SlaReport:
-    """Fallback statistics of one configuration under one policy."""
-
-    label: str
-    drop_rate: float
-    met_p99: bool
-    headroom_p50: float
-    """target / P50 -- how much room the median request has."""
-
-
-def evaluate_sla(label: str, latencies, policy: SlaPolicy) -> SlaReport:
-    """Fraction of requests exceeding the SLA window."""
-    samples = np.asarray(latencies, dtype=float)
-    if samples.size == 0:
-        raise ValueError("no latency samples")
-    drops = float(np.mean(samples > policy.target_latency))
-    return SlaReport(
-        label=label,
-        drop_rate=drops,
-        met_p99=float(np.percentile(samples, 99)) <= policy.target_latency,
-        headroom_p50=policy.target_latency / float(np.percentile(samples, 50)),
-    )
-
-
-def sla_sweep(
-    latencies_by_config: dict[str, "np.ndarray"], policy: SlaPolicy
-) -> list[SlaReport]:
-    """Evaluate every configuration under one policy, worst first."""
-    reports = [
-        evaluate_sla(label, latencies, policy)
-        for label, latencies in latencies_by_config.items()
-    ]
-    reports.sort(key=lambda report: -report.drop_rate)
-    return reports
+__all__ = ["SlaPolicy", "SlaReport", "evaluate_sla", "sla_sweep"]

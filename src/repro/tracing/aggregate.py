@@ -56,8 +56,10 @@ class TraceMode(enum.Enum):
     per-shard breakdowns and trace rendering are available."""
 
     AGGREGATE = "aggregate"
-    """Span-free: only the per-request E2E/CPU/stack columns are produced
-    (bit-identical to FULL).  Per-shard breakdowns are unavailable."""
+    """Span-free: the per-request E2E/CPU/stack columns plus the per-shard
+    CPU-demand and sparse-op-time columns are produced (bit-identical to
+    FULL).  Only per-(shard, net) breakdowns (Figure 10) still require
+    FULL's retained attributions."""
 
 
 # Hot-loop locals: enum attribute lookups are not free in CPython.
@@ -81,6 +83,8 @@ class _RequestState:
         "cpu_ops",
         "cpu_serde",
         "cpu_service",
+        "shard_cpu",
+        "shard_op",
         "head_serde",
         "tail_serde",
         "e2e",
@@ -101,6 +105,8 @@ class _RequestState:
     )
 
     def __init__(self):
+        self.shard_cpu: dict[int, float] = {}
+        self.shard_op: dict[int, float] = {}
         self.batch_dense: list[float] = []
         self.batch_embedded: list[float] = []
         self.batch_serde: list[float] = []
@@ -111,6 +117,8 @@ class _RequestState:
         self.reset()
 
     def reset(self) -> None:
+        self.shard_cpu.clear()
+        self.shard_op.clear()
         self.cpu_ops = 0.0
         self.cpu_serde = 0.0
         self.cpu_service = 0.0
@@ -198,6 +206,11 @@ class AggregatingTracer:
             )
             for bucket in buckets
         }
+        # Per-shard demand columns, keyed by shard index (MAIN_SHARD = -1).
+        # Created lazily on first touch and zero-filled: a request that
+        # never reaches a shard contributes exactly 0.0 to its column.
+        self._shard_cpu_cols: dict[int, np.ndarray] = {}
+        self._shard_op_cols: dict[int, np.ndarray] = {}
 
     # -- recording (hot path) ---------------------------------------------
     def record_interval(
@@ -236,6 +249,11 @@ class AggregatingTracer:
         if duration < 0.0:
             raise ValueError(f"span {name}: end {end} precedes start {start}")
         self.spans_recorded += 1
+        # Per-shard CPU demand, accumulated in recording order -- the same
+        # float-addition order attribute_request uses over the span list,
+        # so the per-shard columns are bit-identical to FULL mode.
+        shard_cpu = state.shard_cpu
+        shard_cpu[shard] = shard_cpu.get(shard, 0.0) + cpu
 
         if layer is _SERDE:
             state.cpu_serde += cpu
@@ -265,6 +283,8 @@ class AggregatingTracer:
                         state.batch_dense[batch] += duration
             else:
                 state.rpc_entry(rpc_id)[_R_OPS] += duration
+                shard_op = state.shard_op
+                shard_op[shard] = shard_op.get(shard, 0.0) + duration
         elif layer is _NET_OVERHEAD:
             state.cpu_service += cpu
             if shard == MAIN_SHARD:
@@ -380,6 +400,19 @@ class AggregatingTracer:
             cols["cpu", CPU_BUCKETS[0]][index] = cpu_ops
             cols["cpu", CPU_BUCKETS[1]][index] = cpu_serde
             cols["cpu", CPU_BUCKETS[2]][index] = cpu_service
+            capacity = len(self._e2e)
+            shard_cpu_cols = self._shard_cpu_cols
+            for shard, value in state.shard_cpu.items():
+                col = shard_cpu_cols.get(shard)
+                if col is None:
+                    col = shard_cpu_cols[shard] = np.zeros(capacity)
+                col[index] = value
+            shard_op_cols = self._shard_op_cols
+            for shard, value in state.shard_op.items():
+                col = shard_op_cols.get(shard)
+                if col is None:
+                    col = shard_op_cols[shard] = np.zeros(capacity)
+                col[index] = value
             self._count = index + 1
         finally:
             self._pool.append(state)
@@ -390,10 +423,21 @@ class AggregatingTracer:
             out[: self._count] = array[: self._count]
             return out
 
+        def grown_zeros(array: np.ndarray) -> np.ndarray:
+            out = np.zeros(capacity, dtype=array.dtype)
+            out[: self._count] = array[: self._count]
+            return out
+
         self._e2e = grown(self._e2e)
         self._cpu = grown(self._cpu)
         self._workload = grown(self._workload)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
+        self._shard_cpu_cols = {
+            key: grown_zeros(col) for key, col in self._shard_cpu_cols.items()
+        }
+        self._shard_op_cols = {
+            key: grown_zeros(col) for key, col in self._shard_op_cols.items()
+        }
 
     # -- column export -----------------------------------------------------
     @property
@@ -403,16 +447,30 @@ class AggregatingTracer:
     def export_columns(
         self,
     ) -> tuple[
-        int, np.ndarray, np.ndarray, dict[tuple[str, str], np.ndarray], np.ndarray
+        int,
+        np.ndarray,
+        np.ndarray,
+        dict[tuple[str, str], np.ndarray],
+        np.ndarray,
+        dict[int, np.ndarray],
+        dict[int, np.ndarray],
     ]:
         """Hand over the backing arrays (count, e2e, cpu, stack columns,
-        workload indices).
+        workload indices, per-shard CPU columns, per-shard op-time columns).
 
         The caller (``RunResult.adopt_aggregate``) slices by count; the
         arrays are *not* copied, so a tracer must not be reused after
         export.
         """
-        return self._count, self._e2e, self._cpu, self._stack_cols, self._workload
+        return (
+            self._count,
+            self._e2e,
+            self._cpu,
+            self._stack_cols,
+            self._workload,
+            self._shard_cpu_cols,
+            self._shard_op_cols,
+        )
 
     # -- lifecycle / parity with Tracer ------------------------------------
     def in_flight(self) -> int:

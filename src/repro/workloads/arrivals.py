@@ -87,6 +87,16 @@ class ArrivalProcess:
     def arrival_times(self, count: int) -> np.ndarray | None:
         raise NotImplementedError
 
+    def peak_rate(self) -> float | None:
+        """Highest sustained QPS of the process (capacity planners size
+        deployments against it), or ``None`` for closed-loop arrivals,
+        which have no intrinsic rate."""
+        return None
+
+    def mean_rate(self) -> float | None:
+        """Long-run average QPS, or ``None`` for closed-loop arrivals."""
+        return None
+
     @staticmethod
     def _checked_count(count: int) -> int:
         """Validate a request count: any integer spelling, ``>= 0``."""
@@ -134,6 +144,12 @@ class PoissonArrivals(ArrivalProcess):
         gaps = rng.exponential(1.0 / self.qps, size=count)
         return np.cumsum(gaps)
 
+    def peak_rate(self) -> float:
+        return self.qps
+
+    def mean_rate(self) -> float:
+        return self.qps
+
 
 @dataclass(frozen=True)
 class ConstantRateArrivals(ArrivalProcess):
@@ -152,6 +168,12 @@ class ConstantRateArrivals(ArrivalProcess):
     def arrival_times(self, count: int) -> np.ndarray:
         count = self._checked_count(count)
         return np.arange(1, count + 1, dtype=np.float64) / self.qps
+
+    def peak_rate(self) -> float:
+        return self.qps
+
+    def mean_rate(self) -> float:
+        return self.qps
 
 
 @dataclass(frozen=True)
@@ -211,6 +233,14 @@ class PiecewiseRateArrivals(ArrivalProcess):
     def period_seconds(self) -> float:
         return len(self.rates) * self.interval_seconds
 
+    def peak_rate(self) -> float:
+        return max(self.rates)
+
+    def mean_rate(self) -> float:
+        # Segments are equal-length, so the time-weighted mean is the
+        # arithmetic mean of the curve.
+        return sum(self.rates) / len(self.rates)
+
     def arrival_times(self, count: int) -> np.ndarray:
         count = self._checked_count(count)
         rng = substream(self.seed, "arrivals-piecewise", self.rates, self.interval_seconds)
@@ -263,6 +293,14 @@ class MMPPArrivals(ArrivalProcess):
         if self.mean_dwell_seconds <= 0:
             raise ValueError("mean_dwell_seconds must be positive")
         object.__setattr__(self, "mean_dwell_seconds", float(self.mean_dwell_seconds))
+
+    def peak_rate(self) -> float:
+        return max(self.rates)
+
+    def mean_rate(self) -> float:
+        # States are visited cyclically with identical mean dwell times,
+        # so each contributes equal expected time.
+        return sum(self.rates) / len(self.rates)
 
     def arrival_times(self, count: int) -> np.ndarray:
         count = self._checked_count(count)
