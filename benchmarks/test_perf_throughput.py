@@ -9,7 +9,7 @@ simulated-requests-per-second into ``results/BENCH_throughput.json`` via
 artifact; comparing it across commits is the perf-regression trajectory
 for the experiment pipeline (the ``mix_sweep`` entry starts the
 mixed-workload branch of that trajectory, ``plan_sweep`` the
-capacity-planning branch).
+capacity-planning branch, ``chaos_sweep`` the fault-injection branch).
 
 ``REPRO_TRACE_MODE`` (``full``/``aggregate``, default ``full``) selects
 the trace mode of the *parallel* sweep and suffixes the artifact name
@@ -35,6 +35,7 @@ import tracemalloc
 import numpy as np
 
 from repro.analysis.bench import record_benchmark
+from repro.chaos import HostCrash, availability_sweep
 from repro.experiments import (
     ShardingConfiguration,
     SuiteSettings,
@@ -219,6 +220,31 @@ def test_perf_throughput():
     # only asserts the search ran.
     chosen = plan_result.chosen
 
+    # 7. Chaos availability sweep: one DRM1 host-crash suite replayed at
+    # three sparse-replica counts (plus the healthy baseline replay that
+    # fixes the SLO) in AGGREGATE mode -- the fault-injection rung of the
+    # throughput trajectory.  Replica routing and the per-request status
+    # accounting ride the same fast path, so this entry tracks the cost
+    # the chaos layer adds on top of the plain open-loop replay.
+    chaos_workload = Workload(
+        "drm1-chaos", model,
+        PiecewiseRateArrivals.diurnal(50.0, seed=7), request_seed=3,
+    )
+    chaos_replicas = (1, 2, 3)
+    chaos_result, chaos_s = _time(
+        lambda: availability_sweep(
+            chaos_workload,
+            ShardingConfiguration("load-bal", 4),
+            (HostCrash(shard=0, at=0.1),),
+            replica_counts=chaos_replicas,
+            settings=aggregate_settings,
+        )
+    )
+    chaos_simulated = BENCH_REQUESTS * (len(chaos_replicas) + 1)
+    chaos_rps = chaos_simulated / chaos_s
+    retention = [o.report.slo_retention for o in chaos_result.outcomes]
+    assert all(a <= b for a, b in zip(retention, retention[1:]))
+
     span_bytes = _span_bytes_per_instance()
 
     suffix = "" if trace_mode is TraceMode.FULL else f"_{trace_mode.value}"
@@ -296,6 +322,16 @@ def test_perf_throughput():
                 "chosen": chosen.label if chosen else None,
                 "chosen_servers": chosen.total_servers if chosen else None,
             },
+            "chaos_sweep": {
+                # Fault-injection availability sweep: healthy baseline +
+                # one host-crash replay per replica count (AGGREGATE).
+                "replica_counts": list(chaos_replicas),
+                "simulated_requests": chaos_simulated,
+                "wall_s": chaos_s,
+                "rps": chaos_rps,
+                "slo_retention": retention,
+                "replicas_for_999": chaos_result.replicas_for(0.999),
+            },
             "parallel_trace_mode": trace_mode.value,
             "span_bytes_per_instance": span_bytes,
         },
@@ -307,7 +343,9 @@ def test_perf_throughput():
         f"mix {mix_rps:.0f} req/s (diurnal DRM1+DRM2, aggregate), "
         f"plan {plan_s:.2f}s ({len(plan_result.candidates)} candidates -> "
         f"{chosen.label if chosen else 'infeasible'}), "
+        f"chaos {chaos_rps:.0f} req/s ({len(chaos_replicas)} replica counts), "
         f"gen speedup {gen_speedup:.1f}x, span {span_bytes:.0f} B -> {path}"
     )
     assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0 and mix_rps > 0
     assert plan_rps > 0 and plan_result.candidates
+    assert chaos_rps > 0

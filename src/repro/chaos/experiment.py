@@ -1,0 +1,224 @@
+"""Chaos experiments end to end: replica sweeps and SLO retention.
+
+:func:`availability_sweep` is the closed loop the ROADMAP asks for: take
+one deployment candidate (a sharding configuration for a workload or
+mix), replay it healthy to fix the latency SLO, then re-simulate it under
+the same fault experiments at increasing replica counts and measure what
+fraction of traffic still gets a full, in-SLO response.  The resulting
+:class:`AvailabilityAssessment` answers the production sizing question
+directly: ``assessment.replicas_for(0.999)``.
+
+Determinism: the request stream is sampled once in the parent and shared
+by every replica count; each replay's RNG substreams are pure functions
+of (seed, configuration), and chaos draws use dedicated substreams -- so
+a parallel sweep (fork pool, one process per replica count) is
+byte-identical to the serial one, exactly like the suite runners in
+:mod:`repro.experiments.parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.chaos.availability import (
+    AvailabilityReport,
+    ChaosEvent,
+    availability_report,
+)
+from repro.chaos.faults import FaultExperiment, FaultSchedule, HealingPolicy
+from repro.experiments.configs import ShardingConfiguration, build_plan
+from repro.experiments.parallel import _fan_out
+from repro.experiments.runner import (
+    RunResult,
+    SuiteSettings,
+    mix_stream,
+    run_mix_configuration,
+)
+from repro.sharding.pooling import estimate_pooling_factors
+from repro.workloads.workload import Workload, WorkloadMix
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One replica count's replay under the fault suite."""
+
+    replicas: int
+    report: AvailabilityReport
+    timeline: tuple[ChaosEvent, ...]
+    result: RunResult
+
+
+@dataclass(frozen=True)
+class AvailabilityAssessment:
+    """A full replica sweep under one fault suite."""
+
+    slo_latency: float
+    """Latency SLO the retention numbers are measured against (seconds)."""
+
+    baseline_p99: float
+    """Healthy (no-fault) p99 latency the SLO was derived from."""
+
+    outcomes: tuple[ChaosOutcome, ...]
+
+    def replicas_for(self, retention: float) -> int | None:
+        """Smallest swept replica count whose SLO retention meets
+        ``retention`` (e.g. ``0.999``); ``None`` if none does."""
+        for outcome in self.outcomes:
+            if outcome.report.slo_retention >= retention:
+                return outcome.replicas
+        return None
+
+
+def format_assessment(
+    assessment: AvailabilityAssessment,
+    *,
+    timeline_replicas: int | None = None,
+    retention_targets: Sequence[float] = (0.99, 0.999),
+) -> list[str]:
+    """Render an assessment as deterministic report lines.
+
+    Shared by ``repro chaos``, the example script, and the CI artifact so
+    they all emit the same (byte-stable) report: SLO provenance, the
+    per-replica availability table, ``replicas_for`` answers for the
+    ``retention_targets``, and the chaos timeline of one replica count
+    (``timeline_replicas``, default the first/lowest swept count).
+    """
+    from repro.chaos.availability import format_timeline, nines
+
+    lines = [
+        f"healthy p99 {assessment.baseline_p99 * 1e3:.3f} ms, "
+        f"SLO {assessment.slo_latency * 1e3:.3f} ms",
+        "",
+        "replicas  availability  slo-retention  nines     ok   slow  degraded  failed  retried",
+    ]
+    for outcome in assessment.outcomes:
+        report = outcome.report
+        lines.append(
+            f"{outcome.replicas:>8d}  {report.availability:>11.2%}  "
+            f"{report.slo_retention:>12.2%}  {nines(report.slo_retention):>5.2f}  "
+            f"{report.ok:>5d}  {report.slow:>5d}  {report.degraded:>8d}  "
+            f"{report.failed:>6d}  {report.retried:>7d}"
+        )
+    lines.append("")
+    for target in retention_targets:
+        needed = assessment.replicas_for(target)
+        lines.append(
+            f"replicas for {target:.1%} SLO retention: "
+            + (str(needed) if needed is not None else "not reached in sweep")
+        )
+    chosen = timeline_replicas
+    if chosen is None and assessment.outcomes:
+        chosen = assessment.outcomes[0].replicas
+    for outcome in assessment.outcomes:
+        if outcome.replicas == chosen:
+            lines.append("")
+            lines.append(f"timeline (replicas={outcome.replicas}):")
+            lines.extend(
+                "  " + line
+                for line in format_timeline(outcome.timeline, outcome.report)
+            )
+            break
+    return lines
+
+
+def _as_mix(workload: Workload | WorkloadMix) -> WorkloadMix:
+    if isinstance(workload, WorkloadMix):
+        return workload
+    return WorkloadMix((workload,))
+
+
+def _chaos_one(replicas: int) -> tuple[int, ChaosOutcome]:
+    """Worker body: one replica count's faulted replay (also in-process)."""
+    from repro.experiments.parallel import _WORKER_CONTEXT
+
+    (mix, plans, stream, serving, experiments, failover_timeout, healing,
+     slo_latency, window) = _WORKER_CONTEXT
+    schedule = FaultSchedule(
+        experiments=experiments,
+        replicas=replicas,
+        failover_timeout=failover_timeout,
+        healing=healing,
+    )
+    result = run_mix_configuration(
+        mix, plans, stream, serving.with_chaos(schedule)
+    )
+    report = availability_report(result, stream.times, slo_latency, window)
+    return replicas, ChaosOutcome(
+        replicas=replicas,
+        report=report,
+        timeline=result.chaos_timeline,
+        result=result,
+    )
+
+
+def availability_sweep(
+    workload: Workload | WorkloadMix,
+    configuration: ShardingConfiguration,
+    experiments: Sequence[FaultExperiment],
+    replica_counts: Sequence[int] = (1, 2, 3),
+    *,
+    healing: HealingPolicy | None = None,
+    failover_timeout: float = 2e-3,
+    settings: SuiteSettings | None = None,
+    slo_latency: float | None = None,
+    slo_slack: float = 1.5,
+    window: float = 0.5,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> AvailabilityAssessment:
+    """Sweep replica counts under one fault suite; measure SLO retention.
+
+    The stream replays open-loop (the workload's arrival process), once
+    healthy to fix the SLO -- ``slo_latency`` if given, otherwise the
+    healthy p99 times ``slo_slack`` -- then once per replica count with a
+    :class:`FaultSchedule` built from ``experiments``.  With
+    ``parallel=True`` the replica counts fan out over a fork pool,
+    byte-identically to the serial sweep.
+    """
+    if not replica_counts:
+        raise ValueError("replica_counts must name at least one count")
+    mix = _as_mix(workload)
+    settings = settings or SuiteSettings()
+    serving = settings.resolved_serving()
+    if serving.chaos is not None:
+        raise ValueError(
+            "availability_sweep builds its own FaultSchedule per replica "
+            "count; pass experiments/healing instead of serving.chaos"
+        )
+    stream = mix_stream(mix, settings)
+    plans = [
+        build_plan(
+            wl.model,
+            configuration,
+            estimate_pooling_factors(
+                wl.model,
+                num_requests=settings.pooling_requests,
+                seed=settings.pooling_seed,
+            ),
+        )
+        for wl in mix.workloads
+    ]
+
+    healthy = run_mix_configuration(mix, plans, stream, serving)
+    baseline_p99 = float(np.percentile(healthy.e2e, 99.0))
+    if slo_latency is None:
+        slo_latency = baseline_p99 * slo_slack
+
+    context = (
+        mix, plans, stream, serving, tuple(experiments), failover_timeout,
+        healing, float(slo_latency), float(window),
+    )
+    outcomes = _fan_out(
+        _chaos_one,
+        context,
+        tuple(int(count) for count in replica_counts),
+        max_workers if parallel else 1,
+    )
+    return AvailabilityAssessment(
+        slo_latency=float(slo_latency),
+        baseline_p99=baseline_p99,
+        outcomes=tuple(outcomes.values()),
+    )

@@ -1,0 +1,232 @@
+"""Fault experiments: *what* breaks, *when*, and for *how long*.
+
+A :class:`FaultSchedule` is a deterministic, composable description of a
+chaos experiment over one simulated replay: host crashes (with optional
+restart), permanently lost replicas, straggler shards (a service-time
+multiplier over an interval), and network latency/jitter spikes.  It is
+attached to a :class:`~repro.serving.simulator.ServingConfig` via its
+``chaos`` field and interpreted by
+:class:`~repro.chaos.runtime.ChaosRuntime`, which hooks the DES replay.
+
+Everything here is pure data -- validated, frozen, picklable -- so a
+schedule travels unchanged to parallel sweep workers, and identical
+schedules replay identical fault timelines.
+
+Determinism contract: all fault *times* are explicit simulation times
+(never drawn), and any chaos randomness (e.g. spike jitter) draws from
+dedicated ``substream(seed, "chaos", ...)`` substreams, so the healthy
+request/jitter/skew streams are never consumed by fault machinery.  An
+**empty** schedule with ``replicas=1`` and no healing injects nothing and
+is byte-identical to running without a schedule at all
+(regression-tested in ``tests/test_chaos.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _require_nonnegative(name: str, value: float) -> float:
+    value = float(value)
+    if not value >= 0.0:  # also rejects NaN
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def _require_shard(shard: int) -> int:
+    if int(shard) < 0:
+        raise ValueError(
+            f"fault experiments target sparse shard indices (>= 0), got "
+            f"{shard!r}; main-tier faults are not modeled"
+        )
+    return int(shard)
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """One replica of a sparse shard crashes at ``at``.
+
+    With ``restart_after`` set, the same host comes back that many
+    seconds later; otherwise the crash is permanent (only a
+    :class:`HealingPolicy` can restore the shard's redundancy).  While a
+    host is down, new RPC arrivals fail over to a live replica of the
+    shard or -- with none left -- degrade to dense-only partial results.
+    """
+
+    shard: int
+    at: float
+    restart_after: float | None = None
+    replica: int = 0
+    """Replica slot to kill: 0 is the primary ``sparse-{shard}`` host,
+    ``k`` the ``sparse-{shard}-r{k}`` replica."""
+
+    def __post_init__(self):
+        _require_shard(self.shard)
+        _require_nonnegative("at", self.at)
+        if self.restart_after is not None:
+            _require_nonnegative("restart_after", self.restart_after)
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica!r}")
+
+    def end_time(self) -> float:
+        return self.at + (self.restart_after or 0.0)
+
+
+@dataclass(frozen=True)
+class ReplicaLoss:
+    """Permanent loss of one replica of a shard at ``at``.
+
+    Equivalent to a :class:`HostCrash` with no restart; kept as its own
+    experiment because it names the *capacity* event (redundancy lost,
+    healing must re-replicate) rather than a transient host failure.
+    ``replica=-1`` (the default) kills the highest replica slot.
+    """
+
+    shard: int
+    at: float
+    replica: int = -1
+
+    def __post_init__(self):
+        _require_shard(self.shard)
+        _require_nonnegative("at", self.at)
+
+    def end_time(self) -> float:
+        return self.at
+
+
+@dataclass(frozen=True)
+class StragglerShard:
+    """A shard serves slowly for an interval (service-time multiplier).
+
+    Every component of the shard-side service (deserialization, fixed
+    service time, framework overhead, SLS work, response serialization)
+    is scaled by ``multiplier`` while the window is active; overlapping
+    stragglers on the same shard compose multiplicatively.  All replicas
+    of the shard straggle together (the model is a shard-local cause:
+    compaction, page cache loss, noisy neighbor).
+    """
+
+    shard: int
+    start: float
+    duration: float
+    multiplier: float = 4.0
+
+    def __post_init__(self):
+        _require_shard(self.shard)
+        _require_nonnegative("start", self.start)
+        _require_nonnegative("duration", self.duration)
+        if not self.multiplier >= 1.0:
+            raise ValueError(
+                f"straggler multiplier must be >= 1, got {self.multiplier!r}"
+            )
+
+    def end_time(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class NetworkSpike:
+    """Fabric degradation over an interval: every RPC one-way delay is
+    scaled by ``multiplier``, then ``extra_latency`` is added, then (with
+    ``jitter_sigma`` > 0) the sum is scaled by a lognormal factor drawn
+    from the dedicated ``(seed, "chaos", "network")`` substream -- chaos
+    jitter never consumes the healthy fabric's jitter stream."""
+
+    start: float
+    duration: float
+    extra_latency: float = 0.0
+    multiplier: float = 1.0
+    jitter_sigma: float = 0.0
+
+    def __post_init__(self):
+        _require_nonnegative("start", self.start)
+        _require_nonnegative("duration", self.duration)
+        _require_nonnegative("extra_latency", self.extra_latency)
+        _require_nonnegative("jitter_sigma", self.jitter_sigma)
+        if not self.multiplier >= 1.0:
+            raise ValueError(
+                f"spike multiplier must be >= 1, got {self.multiplier!r}"
+            )
+
+    def end_time(self) -> float:
+        return self.start + self.duration
+
+
+FaultExperiment = HostCrash | ReplicaLoss | StragglerShard | NetworkSpike
+
+
+@dataclass(frozen=True)
+class HealingPolicy:
+    """The self-healing controller's reaction speed.
+
+    A heartbeat fires every ``check_interval`` seconds; a shard whose
+    live replica count is below the schedule's target for
+    ``consecutive_misses`` consecutive heartbeats is *detected* as
+    unhealthy (detection lag is therefore roughly
+    ``consecutive_misses * check_interval``), and each missing replica is
+    re-replicated onto a fresh host that joins the routing set
+    ``recovery_lag`` seconds later.
+    """
+
+    check_interval: float = 0.25
+    consecutive_misses: int = 2
+    recovery_lag: float = 2.0
+
+    def __post_init__(self):
+        if not float(self.check_interval) > 0.0:
+            raise ValueError(
+                f"check_interval must be positive, got {self.check_interval!r}"
+            )
+        if self.consecutive_misses < 1:
+            raise ValueError(
+                f"consecutive_misses must be >= 1, got {self.consecutive_misses!r}"
+            )
+        _require_nonnegative("recovery_lag", self.recovery_lag)
+
+    def detection_lag(self) -> float:
+        """Worst-case time from failure to detection."""
+        return self.consecutive_misses * self.check_interval
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A full chaos experiment: faults + redundancy + failover + healing.
+
+    ``replicas`` is the sparse-tier redundancy: every shard index is
+    served by that many hosts (primary plus ``replicas - 1`` clones),
+    round-robin routed.  ``failover_timeout`` is what an RPC pays to
+    discover a dead host (connection timeout) before retrying a live
+    replica or degrading.  ``healing`` enables the self-healing
+    controller; ``None`` leaves failures to scheduled restarts only.
+    """
+
+    experiments: tuple[FaultExperiment, ...] = ()
+    replicas: int = 1
+    failover_timeout: float = 2e-3
+    healing: HealingPolicy | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "experiments", tuple(self.experiments))
+        for experiment in self.experiments:
+            if not isinstance(
+                experiment, (HostCrash, ReplicaLoss, StragglerShard, NetworkSpike)
+            ):
+                raise TypeError(
+                    f"experiments must be FaultExperiment instances, "
+                    f"got {experiment!r}"
+                )
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas!r}")
+        _require_nonnegative("failover_timeout", self.failover_timeout)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule injects nothing at all."""
+        return not self.experiments and self.healing is None
+
+    def horizon(self) -> float:
+        """Last scheduled fault transition (0.0 for an empty schedule)."""
+        return max(
+            (experiment.end_time() for experiment in self.experiments),
+            default=0.0,
+        )

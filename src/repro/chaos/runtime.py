@@ -1,0 +1,335 @@
+"""Chaos runtime: replica routing, liveness, injection, self-healing.
+
+:class:`ChaosRuntime` interprets one
+:class:`~repro.chaos.faults.FaultSchedule` against a live
+:class:`~repro.serving.simulator.ClusterSimulation`.  It owns everything
+the healthy serving path must not know about:
+
+* the **replica sets** -- each sparse shard index is served by
+  ``schedule.replicas`` hosts (plus any healed ones), round-robin routed
+  via :meth:`route`;
+* **liveness** -- crash/restart/loss experiments run as ordinary engine
+  processes flipping per-host alive bits, so fault transitions interleave
+  deterministically with request events (same-time ordering follows
+  process creation order, and all chaos processes are created before the
+  replay driver);
+* **degradation accounting** -- per-request ``degraded``/``retries``
+  counters the tracing layer folds into result columns;
+* the **healing controller** -- a heartbeat process that detects shards
+  below their replica target, and re-replicates after a configurable
+  detection + recovery lag, emitting ``detected``/``healed`` timeline
+  events.  The controller ticks only up to a bounded horizon derived from
+  the schedule (last fault + detection lag + recovery lag + slack), so
+  the event heap always drains and the replay terminates.
+
+The runtime receives a *server factory* from the cluster instead of
+importing :class:`~repro.serving.simulator.SimServer`, keeping the
+dependency one-directional (serving -> chaos, lazily).
+
+Fault model granularity: a crash affects routing of *new* RPC arrivals --
+an RPC already in service on the crashed host drains normally (the
+simulated service times are microseconds; modeling mid-service loss would
+buy little and cost Resource-teardown complexity).  Dead hosts are
+discovered by the client at arrival time: the RPC pays the network trip,
+finds the host dead, pays ``failover_timeout``, and retries the next live
+replica -- or degrades to a dense-only partial result when none is left.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.chaos.availability import ChaosEvent
+from repro.chaos.faults import (
+    FaultSchedule,
+    HealingPolicy,
+    HostCrash,
+    NetworkSpike,
+    ReplicaLoss,
+    StragglerShard,
+)
+
+
+class ChaosRuntime:
+    """Interprets a :class:`FaultSchedule` for one cluster replay."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        engine,
+        primaries: list,
+        make_server: Callable[[str], object],
+        spike_rng=None,
+    ):
+        self.schedule = schedule
+        self.engine = engine
+        self.make_server = make_server
+        self.num_shards = len(primaries)
+        self.failover_timeout = schedule.failover_timeout
+        self._validate(schedule)
+
+        #: Replica sets per shard index: slot 0 is the healthy primary
+        #: (``sparse-{i}``), slots 1..R-1 the static replicas, and healed
+        #: hosts append after.  Replica-major construction order keeps the
+        #: primaries' clock-skew draws identical to the no-chaos cluster.
+        self.replicas: dict[int, list] = {
+            shard: [server] for shard, server in enumerate(primaries)
+        }
+        for clone in range(1, schedule.replicas):
+            for shard in range(self.num_shards):
+                self.replicas[shard].append(
+                    make_server(f"sparse-{shard}-r{clone}")
+                )
+        self._alive: dict[str, bool] = {
+            server.name: True
+            for servers in self.replicas.values()
+            for server in servers
+        }
+        self._round_robin = [0] * self.num_shards
+
+        #: Per-request fault accounting: request id -> [degraded, retries].
+        self.flags: dict[int, list[int]] = {}
+        #: Fault/heal transitions in simulation-time order.
+        self.timeline: list[ChaosEvent] = []
+
+        self._active_stragglers: list[StragglerShard] = []
+        self._active_spikes: list[NetworkSpike] = []
+        self._spike_rng = spike_rng
+        self._misses: dict[int, int] = {}
+        self._pending_heals: dict[int, int] = {}
+        self._heal_seq = 0
+
+    def _validate(self, schedule: FaultSchedule) -> None:
+        for experiment in schedule.experiments:
+            shard = getattr(experiment, "shard", None)
+            if shard is not None and shard >= self.num_shards:
+                raise ValueError(
+                    f"{type(experiment).__name__} targets shard {shard}, but "
+                    f"the deployment has only {self.num_shards} sparse "
+                    f"shard(s)"
+                )
+            replica = getattr(experiment, "replica", None)
+            if replica is not None and not (
+                -schedule.replicas <= replica < schedule.replicas
+            ):
+                raise ValueError(
+                    f"{type(experiment).__name__} targets replica {replica}, "
+                    f"but the schedule provisions {schedule.replicas} "
+                    f"replica(s) per shard"
+                )
+
+    # -- process wiring ----------------------------------------------------
+    def start(self) -> None:
+        """Spawn every injection process (and the healing controller).
+
+        Must run before the replay driver process is created so that
+        same-timestamp fault transitions order before request arrivals.
+        """
+        engine = self.engine
+        for experiment in self.schedule.experiments:
+            if isinstance(experiment, HostCrash):
+                engine.process(self._run_crash(experiment))
+            elif isinstance(experiment, ReplicaLoss):
+                engine.process(self._run_loss(experiment))
+            elif isinstance(experiment, StragglerShard):
+                engine.process(self._run_straggler(experiment))
+            elif isinstance(experiment, NetworkSpike):
+                engine.process(self._run_spike(experiment))
+        if self.schedule.healing is not None:
+            engine.process(self._run_controller(self.schedule.healing))
+
+    # -- liveness ----------------------------------------------------------
+    def _set_alive(self, shard: int, replica: int, alive: bool, kind: str) -> None:
+        server = self.replicas[shard][replica]
+        self._alive[server.name] = alive
+        live = self.live_replicas(shard)
+        self.timeline.append(
+            ChaosEvent(
+                time=self.engine.now,
+                kind=kind,
+                shard=shard,
+                server=server.name,
+                detail=f"{live} live replica(s)",
+            )
+        )
+
+    def _run_crash(self, experiment: HostCrash):
+        yield float(experiment.at)
+        self._set_alive(experiment.shard, experiment.replica, False, "crash")
+        if experiment.restart_after is not None:
+            yield float(experiment.restart_after)
+            self._set_alive(experiment.shard, experiment.replica, True, "restart")
+
+    def _run_loss(self, experiment: ReplicaLoss):
+        yield float(experiment.at)
+        self._set_alive(
+            experiment.shard, experiment.replica, False, "replica-loss"
+        )
+
+    def live_replicas(self, shard: int) -> int:
+        alive = self._alive
+        return sum(1 for server in self.replicas[shard] if alive[server.name])
+
+    def is_live(self, server) -> bool:
+        return self._alive[server.name]
+
+    # -- routing & degradation --------------------------------------------
+    def route(self, shard: int):
+        """Next live replica of ``shard`` (round-robin), or ``None``.
+
+        Pure counter arithmetic -- no RNG -- so routing is deterministic
+        and, with one live replica, byte-identical to direct addressing.
+        """
+        servers = self.replicas[shard]
+        n = len(servers)
+        start = self._round_robin[shard]
+        alive = self._alive
+        for offset in range(n):
+            index = (start + offset) % n
+            server = servers[index]
+            if alive[server.name]:
+                self._round_robin[shard] = (index + 1) % n
+                return server
+        return None
+
+    def count_retry(self, request_id: int) -> None:
+        entry = self.flags.get(request_id)
+        if entry is None:
+            entry = self.flags[request_id] = [0, 0]
+        entry[1] += 1
+
+    def mark_degraded(self, request_id: int) -> None:
+        entry = self.flags.get(request_id)
+        if entry is None:
+            entry = self.flags[request_id] = [0, 0]
+        entry[0] += 1
+
+    # -- service & network perturbation -----------------------------------
+    def _run_straggler(self, experiment: StragglerShard):
+        yield float(experiment.start)
+        self._active_stragglers.append(experiment)
+        self.timeline.append(
+            ChaosEvent(
+                time=self.engine.now,
+                kind="straggler-start",
+                shard=experiment.shard,
+                detail=f"x{experiment.multiplier:g}",
+            )
+        )
+        yield float(experiment.duration)
+        self._active_stragglers.remove(experiment)
+        self.timeline.append(
+            ChaosEvent(
+                time=self.engine.now,
+                kind="straggler-end",
+                shard=experiment.shard,
+            )
+        )
+
+    def _run_spike(self, experiment: NetworkSpike):
+        yield float(experiment.start)
+        self._active_spikes.append(experiment)
+        self.timeline.append(
+            ChaosEvent(
+                time=self.engine.now,
+                kind="spike-start",
+                detail=(
+                    f"x{experiment.multiplier:g}"
+                    f"+{experiment.extra_latency * 1e6:g}us"
+                ),
+            )
+        )
+        yield float(experiment.duration)
+        self._active_spikes.remove(experiment)
+        self.timeline.append(
+            ChaosEvent(time=self.engine.now, kind="spike-end")
+        )
+
+    def scale_service(self, shard: int, delay: float) -> float:
+        """Apply active straggler multipliers to a shard-side delay."""
+        for straggler in self._active_stragglers:
+            if straggler.shard == shard:
+                delay *= straggler.multiplier
+        return delay
+
+    def network_delay(self, delay: float) -> float:
+        """Apply active network spikes to an RPC one-way delay.
+
+        Spike jitter draws from the dedicated chaos substream, never from
+        the healthy fabric's jitter stream; with no active spike this is
+        an exact identity.
+        """
+        for spike in self._active_spikes:
+            delay = delay * spike.multiplier + spike.extra_latency
+            if spike.jitter_sigma > 0.0 and self._spike_rng is not None:
+                delay *= math.exp(
+                    float(self._spike_rng.normal(0.0, spike.jitter_sigma))
+                )
+        return delay
+
+    # -- self-healing controller -------------------------------------------
+    def controller_horizon(self, policy: HealingPolicy) -> float:
+        """Last heartbeat worth taking: after every scheduled fault has
+        fired, been detectable, and had time to recover, plus slack."""
+        return (
+            self.schedule.horizon()
+            + policy.detection_lag()
+            + policy.recovery_lag
+            + 2.0 * policy.check_interval
+        )
+
+    def _run_controller(self, policy: HealingPolicy):
+        interval = float(policy.check_interval)
+        horizon = self.controller_horizon(policy)
+        elapsed = 0.0
+        while elapsed + interval <= horizon:
+            yield interval
+            elapsed += interval
+            self._heartbeat(policy)
+
+    def _heartbeat(self, policy: HealingPolicy) -> None:
+        target = self.schedule.replicas
+        for shard in range(self.num_shards):
+            live = self.live_replicas(shard)
+            deficit = target - live - self._pending_heals.get(shard, 0)
+            if deficit <= 0:
+                self._misses[shard] = 0
+                continue
+            misses = self._misses.get(shard, 0) + 1
+            self._misses[shard] = misses
+            if misses < policy.consecutive_misses:
+                continue
+            self._misses[shard] = 0
+            for _ in range(deficit):
+                self._pending_heals[shard] = (
+                    self._pending_heals.get(shard, 0) + 1
+                )
+                self.timeline.append(
+                    ChaosEvent(
+                        time=self.engine.now,
+                        kind="detected",
+                        shard=shard,
+                        detail=f"{live}/{target} live",
+                    )
+                )
+                self.engine.process(self._run_recovery(shard, policy))
+
+    def _run_recovery(self, shard: int, policy: HealingPolicy):
+        if policy.recovery_lag > 0.0:
+            yield float(policy.recovery_lag)
+        self._heal_seq += 1
+        name = f"sparse-{shard}-h{self._heal_seq}"
+        server = self.make_server(name)
+        self.replicas[shard].append(server)
+        self._alive[name] = True
+        self._pending_heals[shard] -= 1
+        self.timeline.append(
+            ChaosEvent(
+                time=self.engine.now,
+                kind="healed",
+                shard=shard,
+                server=name,
+                detail=f"{self.live_replicas(shard)} live replica(s)",
+            )
+        )

@@ -15,6 +15,10 @@ Exposes the library's main workflows without writing code:
   latency SLA per workload, size replicas from measured per-shard CPU
   demand, enforce per-server DRAM capacity, and print the cheapest
   feasible deployment;
+* ``chaos``    -- fault-injection availability sweep: replay one
+  configuration under crash/straggler/network-spike experiments at
+  increasing sparse-replica counts, and report availability, SLO
+  retention, and the replica count needed for a retention target;
 * ``trace``    -- replay one request and render the Figure-3 timeline.
 """
 
@@ -26,6 +30,14 @@ import sys
 import numpy as np
 
 from repro.analysis.caching import trace_hit_summary
+from repro.chaos import (
+    HealingPolicy,
+    HostCrash,
+    NetworkSpike,
+    StragglerShard,
+    availability_sweep,
+    format_assessment,
+)
 from repro.analysis.report import (
     CAPACITY_CANDIDATE_HEADERS,
     CAPACITY_SIZING_HEADERS,
@@ -387,6 +399,79 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    model = build(args.model)
+    workload = Workload(
+        name=args.model.lower(),
+        model=model,
+        arrivals=_arrival_process(args, 0),
+        request_seed=args.seed,
+    )
+    experiments = []
+    if not args.no_crash:
+        experiments.append(
+            HostCrash(
+                shard=args.crash_shard,
+                at=args.crash_at,
+                restart_after=args.restart_after,
+            )
+        )
+    if args.straggler is not None:
+        shard, start, duration, multiplier = args.straggler
+        experiments.append(
+            StragglerShard(
+                shard=int(shard), start=start, duration=duration,
+                multiplier=multiplier,
+            )
+        )
+    if args.spike is not None:
+        start, duration, extra_ms = args.spike
+        experiments.append(
+            NetworkSpike(start=start, duration=duration, extra_latency=extra_ms / 1e3)
+        )
+    healing = (
+        HealingPolicy(
+            check_interval=args.check_interval,
+            consecutive_misses=args.misses,
+            recovery_lag=args.recovery_lag,
+        )
+        if args.heal
+        else None
+    )
+    assessment = availability_sweep(
+        workload,
+        _configuration(args),
+        tuple(experiments),
+        tuple(args.replicas),
+        healing=healing,
+        settings=SuiteSettings(
+            num_requests=args.requests,
+            pooling_requests=args.pooling_requests,
+            serving=ServingConfig(seed=args.seed),
+            trace_mode=_trace_mode(args),
+        ),
+        slo_latency=args.slo_ms / 1e3 if args.slo_ms else None,
+        slo_slack=args.slack,
+        window=args.window,
+        parallel=args.parallel or args.workers is not None,
+        max_workers=args.workers,
+    )
+    title = (
+        f"chaos sweep: {model.name} / {_configuration(args).label} under "
+        + ", ".join(type(experiment).__name__ for experiment in experiments)
+        + (" with healing" if healing else "")
+    )
+    lines = [title, ""]
+    lines.extend(format_assessment(assessment))
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report)
+        print(f"\nwrote availability report to {args.report}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     model = build(args.model)
     pooling = estimate_pooling_factors(model, num_requests=args.pooling_requests)
@@ -562,6 +647,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-process cap; implies --parallel",
     )
     plan.set_defaults(func=cmd_plan)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection availability sweep over replica counts",
+        description="Replay one sharded configuration under a deterministic "
+        "fault suite (host crash, straggler shard, network spike) at "
+        "increasing sparse-replica counts.  Each request ends ok (full, "
+        "in-SLO), slow, degraded (dense-only partial result), or failed; "
+        "the sweep reports availability and SLO retention per replica "
+        "count, the replica count needed for the retention targets, and "
+        "the crash/heal timeline.",
+    )
+    _add_model_argument(chaos)
+    chaos.add_argument(
+        "--strategy", default="load-bal",
+        choices=["1-shard", "load-bal", "cap-bal", "NSBP"],
+        help="sharding strategy (chaos needs remote sparse shards, so "
+        "singular is excluded)",
+    )
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument("--pooling-requests", type=int, default=300)
+    chaos.add_argument("--requests", type=int, default=120)
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument(
+        "--arrivals", default="poisson",
+        choices=["poisson", "constant", "diurnal", "mmpp"],
+    )
+    chaos.add_argument("--qps", type=float, default=80.0)
+    chaos.add_argument("--trough-fraction", type=float, default=0.35)
+    chaos.add_argument("--hours", type=int, default=24)
+    chaos.add_argument("--dwell-seconds", type=float, default=60.0)
+    chaos.add_argument(
+        "--replicas", nargs="+", type=int, default=[1, 2, 3],
+        help="sparse replica counts to sweep",
+    )
+    chaos.add_argument(
+        "--crash-shard", type=int, default=0,
+        help="shard whose replica 0 crashes (see --no-crash)",
+    )
+    chaos.add_argument(
+        "--crash-at", type=float, default=0.1,
+        help="crash time in simulated seconds",
+    )
+    chaos.add_argument(
+        "--restart-after", type=float, default=None,
+        help="bring the crashed host back after this many seconds "
+        "(default: stays down)",
+    )
+    chaos.add_argument(
+        "--no-crash", action="store_true",
+        help="drop the default host-crash experiment",
+    )
+    chaos.add_argument(
+        "--straggler", nargs=4, type=float, default=None,
+        metavar=("SHARD", "START", "DURATION", "MULT"),
+        help="slow one shard's service times by MULT over [START, START+DURATION)",
+    )
+    chaos.add_argument(
+        "--spike", nargs=3, type=float, default=None,
+        metavar=("START", "DURATION", "EXTRA_MS"),
+        help="add EXTRA_MS one-way latency to every RPC over [START, START+DURATION)",
+    )
+    chaos.add_argument(
+        "--heal", action="store_true",
+        help="run the self-healing controller (heartbeat detection + "
+        "re-replication)",
+    )
+    chaos.add_argument("--check-interval", type=float, default=0.05)
+    chaos.add_argument("--misses", type=int, default=2)
+    chaos.add_argument("--recovery-lag", type=float, default=0.25)
+    chaos.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="explicit latency SLO in milliseconds (default: healthy p99 "
+        "x --slack)",
+    )
+    chaos.add_argument("--slack", type=float, default=1.5)
+    chaos.add_argument(
+        "--window", type=float, default=0.5,
+        help="availability-timeline bin width in seconds",
+    )
+    _add_trace_mode_argument(chaos)
+    chaos.add_argument(
+        "--parallel", action="store_true",
+        help="fan replica counts out over worker processes "
+        "(byte-identical to the serial sweep)",
+    )
+    chaos.add_argument("--workers", type=int, default=None)
+    chaos.add_argument(
+        "--report", default=None,
+        help="also write the availability report to this path",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     trace = commands.add_parser("trace", help="render one request's trace")
     add_plan_arguments(trace)

@@ -5,6 +5,51 @@ jitter, shard-to-server mapping, ...) draws from its own named substream so
 that experiments are reproducible and components can be re-seeded without
 perturbing one another.  Substreams are derived by hashing the root seed
 together with a tuple of string/int keys.
+
+Determinism contract
+====================
+
+The library guarantees byte-identical results for identical inputs --
+across runs, across serial/parallel sweeps, and across FULL/AGGREGATE
+trace modes.  Three rules make that hold:
+
+1. **Every random draw comes from a named substream.**  A component
+   never shares a generator with another component; it derives its own
+   via ``substream(root_seed, *keys)``, where the key path names the
+   component and its position, e.g.::
+
+       substream(seed, "requests", model.name, table, comp)  # synthesis
+       substream(seed, "fabric")                             # net jitter
+       substream(seed, "clock-skew", *cluster_key)           # skew
+       substream(seed, "chaos", "network", *cluster_key)     # spikes
+       substream(seed, "chaos", "clock-skew", *cluster_key)  # replicas
+
+   Because the seed is a pure function of ``(root_seed, keys)`` -- a
+   SHA-256 digest, never Python's salted ``hash()`` -- the stream is
+   stable across platforms, Python versions, and process boundaries.
+   That is what lets a parallel sweep fork one process per
+   configuration and still match the serial sweep byte for byte: no
+   draw depends on *which process* or *in which order* a configuration
+   runs.
+
+2. **Draw order within a substream is part of the schedule.**  Code
+   draws from a substream in a deterministic order fixed by the replay
+   (request ids ascending, simulation-event order, ...), never from
+   under an iteration whose order can vary.
+
+3. **Optional features get their own substreams so that switching them
+   off restores the exact base stream.**  The chaos layer
+   (:mod:`repro.chaos`) is the sharpest case: fault times are explicit
+   simulation times (no draws), and the only chaos randomness --
+   network-spike jitter, clock skew for healed/replica servers -- comes
+   from dedicated ``substream(seed, "chaos", ...)`` streams.  Running
+   with ``chaos=None`` or with an *empty* :class:`FaultSchedule`
+   therefore consumes zero draws from every pre-existing substream, and
+   the replay is byte-identical to one without the chaos layer at all
+   (regression-tested).  Had chaos shared, say, the fabric jitter
+   stream, merely enabling the feature would shift every subsequent
+   draw and perturb the healthy baseline it is meant to be compared
+   against.
 """
 
 from __future__ import annotations

@@ -105,11 +105,24 @@ class RunResult:
             tuple(workload_labels) if workload_labels else (model_name,)
         )
         self.attributions: list[RequestAttribution] = []
+        #: Requests that never completed (an aborted or fault-saturated
+        #: replay); ids only -- they have no row in the columns.
+        self.incomplete_requests: tuple[int, ...] = ()
+        #: Fault/heal transitions of the replay (``ChaosEvent`` tuples;
+        #: empty for healthy runs).
+        self.chaos_timeline: tuple = ()
         capacity = max(int(expected_requests), 16)
         self._count = 0
         self._e2e = np.empty(capacity)
         self._cpu = np.empty(capacity)
         self._workload = np.zeros(capacity, dtype=np.int64)
+        # Chaos columns (see the accessors below); all-zero statuses on
+        # healthy runs, and the id column maps completion-order rows back
+        # to arrival order.
+        self._rid = np.empty(capacity, dtype=np.int64)
+        self._status = np.zeros(capacity, dtype=np.int64)
+        self._degraded = np.zeros(capacity, dtype=np.int64)
+        self._retries = np.zeros(capacity, dtype=np.int64)
         self._stack_cols: dict[tuple[str, str], np.ndarray] = {
             (kind, bucket): np.empty(capacity)
             for kind, buckets in self._COLUMN_BUCKETS.items()
@@ -138,6 +151,10 @@ class RunResult:
         self._e2e = grown(self._e2e)
         self._cpu = grown(self._cpu)
         self._workload = grown(self._workload)
+        self._rid = grown(self._rid)
+        self._status = grown_zeros(self._status)
+        self._degraded = grown_zeros(self._degraded)
+        self._retries = grown_zeros(self._retries)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
         self._shard_cpu_cols = {
             key: grown_zeros(col) for key, col in self._shard_cpu_cols.items()
@@ -152,7 +169,13 @@ class RunResult:
             col = cols[shard] = np.zeros(len(self._e2e))
         return col
 
-    def add(self, attribution: RequestAttribution, workload: int = 0) -> None:
+    def add(
+        self,
+        attribution: RequestAttribution,
+        workload: int = 0,
+        degraded: int = 0,
+        retries: int = 0,
+    ) -> None:
         """Append one completed request's attribution."""
         index = self._count
         if index == len(self._e2e):
@@ -161,6 +184,11 @@ class RunResult:
         self._e2e[index] = attribution.e2e
         self._cpu[index] = attribution.cpu_total
         self._workload[index] = workload
+        self._rid[index] = attribution.request_id
+        if degraded or retries:
+            self._status[index] = 1 if degraded else 0
+            self._degraded[index] = degraded
+            self._retries[index] = retries
         cols = self._stack_cols
         for bucket, value in attribution.latency_stack.items():
             cols["latency", bucket][index] = value
@@ -185,6 +213,32 @@ class RunResult:
     @property
     def cpu(self) -> np.ndarray:
         return self._cpu[: self._count]
+
+    # -- chaos columns (both trace modes) ----------------------------------
+    @property
+    def request_ids(self) -> np.ndarray:
+        """Per-row request id, in completion order.  Under fault injection
+        completion order diverges from arrival order, and this column is
+        what maps a row back to its arrival time (availability timelines
+        index ``arrival_times[request_ids]``)."""
+        return self._rid[: self._count]
+
+    @property
+    def status(self) -> np.ndarray:
+        """Per-request outcome: 0 = full response, 1 = degraded (at least
+        one sparse RPC found no live replica and the request was served
+        dense-only for that net).  All zeros on healthy runs."""
+        return self._status[: self._count]
+
+    @property
+    def degraded(self) -> np.ndarray:
+        """Per-request count of degraded (dense-only) sparse RPCs."""
+        return self._degraded[: self._count]
+
+    @property
+    def retries(self) -> np.ndarray:
+        """Per-request count of RPC failovers (dead host -> live replica)."""
+        return self._retries[: self._count]
 
     def stack_columns(self, kind: str) -> dict[str, np.ndarray]:
         """One array per bucket for ``kind`` in {latency, embedded, cpu}."""
@@ -254,7 +308,7 @@ class RunResult:
         :meth:`mean_per_shard_op_time` work identically in both trace
         modes (only the per-(shard, net) breakdown still needs FULL).
         """
-        count, e2e, cpu, stack_cols, workload, shard_cpu, shard_op = (
+        count, e2e, cpu, stack_cols, workload, shard_cpu, shard_op, rid, status, degraded, retries = (
             tracer.export_columns()
         )
         if set(stack_cols) != set(self._stack_cols):
@@ -266,6 +320,10 @@ class RunResult:
         self._stack_cols = stack_cols
         self._shard_cpu_cols = shard_cpu
         self._shard_op_cols = shard_op
+        self._rid = rid
+        self._status = status
+        self._degraded = degraded
+        self._retries = retries
 
     # -- per-shard demand (both trace modes) -------------------------------
     def _mean_shard_columns(
@@ -354,11 +412,23 @@ def run_configuration(
     )
 
     tracer = cluster.tracer
+    chaos_flags = cluster.chaos_flags
     if isinstance(tracer, AggregatingTracer):
+        tracer.chaos_flags = chaos_flags
         cluster.on_complete = tracer.finalize_request
-    else:
+    elif chaos_flags is None:
         def on_complete(request_id: int) -> None:
             result.add(attribute_request(tracer.pop_request(request_id)))
+
+        cluster.on_complete = on_complete
+    else:
+        def on_complete(request_id: int) -> None:
+            flags = chaos_flags.get(request_id)
+            result.add(
+                attribute_request(tracer.pop_request(request_id)),
+                degraded=flags[0] if flags else 0,
+                retries=flags[1] if flags else 0,
+            )
 
         cluster.on_complete = on_complete
     if schedule.mode is ReplayMode.SERIAL:
@@ -367,6 +437,8 @@ def run_configuration(
         cluster.run_open_loop(requests, schedule)
     if isinstance(tracer, AggregatingTracer):
         result.adopt_aggregate(tracer)
+    result.incomplete_requests = tuple(cluster.dropped_requests)
+    result.chaos_timeline = cluster.chaos_timeline
     return result
 
 
@@ -489,10 +561,12 @@ def run_mix_configuration(
     )
     workload_ids = stream.workload_ids
     tracer = cluster.tracer
+    chaos_flags = cluster.chaos_flags
     if isinstance(tracer, AggregatingTracer):
         tracer.workload_ids = workload_ids
+        tracer.chaos_flags = chaos_flags
         cluster.on_complete = tracer.finalize_request
-    else:
+    elif chaos_flags is None:
         def on_complete(request_id: int) -> None:
             result.add(
                 attribute_request(tracer.pop_request(request_id)),
@@ -500,9 +574,22 @@ def run_mix_configuration(
             )
 
         cluster.on_complete = on_complete
+    else:
+        def on_complete(request_id: int) -> None:
+            flags = chaos_flags.get(request_id)
+            result.add(
+                attribute_request(tracer.pop_request(request_id)),
+                workload=int(workload_ids[request_id]),
+                degraded=flags[0] if flags else 0,
+                retries=flags[1] if flags else 0,
+            )
+
+        cluster.on_complete = on_complete
     cluster.run_stream(stream)
     if isinstance(tracer, AggregatingTracer):
         result.adopt_aggregate(tracer)
+    result.incomplete_requests = tuple(cluster.dropped_requests)
+    result.chaos_timeline = cluster.chaos_timeline
     return result
 
 

@@ -42,6 +42,8 @@ from repro.tracing.span import MAIN_SHARD
 from repro.workloads.workload import Workload, WorkloadMix
 
 if TYPE_CHECKING:  # heavy imports stay lazy: repro.experiments imports serving
+    from repro.chaos.experiment import AvailabilityAssessment
+    from repro.chaos.faults import FaultExperiment, HealingPolicy
     from repro.experiments.configs import ShardingConfiguration
     from repro.experiments.runner import RunResult, SuiteSettings
 
@@ -298,6 +300,72 @@ class CapacityPlanner:
             if best_key is None or key < best_key:
                 best_key, chosen = key, candidate
         return MixPlan(policy=policy, chosen=chosen, candidates=tuple(candidates))
+
+    def assess_availability(
+        self,
+        workload: "Workload | WorkloadMix",
+        configuration: "ShardingConfiguration | CandidatePlan | MixPlan",
+        experiments: "tuple[FaultExperiment, ...]",
+        replica_counts: tuple[int, ...] = (1, 2, 3),
+        *,
+        healing: "HealingPolicy | None" = None,
+        failover_timeout: float = 2e-3,
+        window: float = 0.5,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> "AvailabilityAssessment":
+        """Re-simulate a chosen candidate under a chaos suite.
+
+        Answers the availability side of the sizing question the closed
+        loop leaves open: the chosen deployment meets the SLA on a
+        healthy fleet, but how many sparse replicas does it need to keep
+        N-nines SLO retention when the ``experiments`` fire?  Delegates
+        to :func:`repro.chaos.experiment.availability_sweep` with the
+        planner's own settings; the SLO is the planner policy's target
+        latency when one is set, otherwise the healthy p99 times the
+        planner's ``slack``.  ``configuration`` may be the
+        :class:`MixPlan` / :class:`CandidatePlan` returned by
+        :meth:`plan` (its label is mapped back onto the candidate
+        matrix) or an explicit sharding configuration.
+        """
+        from repro.chaos.experiment import availability_sweep
+        from repro.experiments.configs import mix_configurations
+
+        mix = (
+            WorkloadMix((workload,)) if isinstance(workload, Workload) else workload
+        )
+        if isinstance(configuration, MixPlan):
+            configuration = configuration.require()
+        if isinstance(configuration, CandidatePlan):
+            label = configuration.label
+            matches = [
+                candidate
+                for candidate in mix_configurations(
+                    tenant.model.name for tenant in mix.workloads
+                )
+                if candidate.label == label
+            ]
+            if not matches:
+                raise PlanningError(
+                    f"cannot map chosen plan label {label!r} back onto the "
+                    "candidate configuration matrix"
+                )
+            configuration = matches[0]
+        slo = self.policy.target_latency if self.policy is not None else None
+        return availability_sweep(
+            mix,
+            configuration,
+            experiments,
+            replica_counts,
+            healing=healing,
+            failover_timeout=failover_timeout,
+            settings=self.settings,
+            slo_latency=slo,
+            slo_slack=self.slack,
+            window=window,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
 
     def _size_candidate(
         self,

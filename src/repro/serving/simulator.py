@@ -46,7 +46,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -62,6 +62,9 @@ from repro.simulation.network import Fabric, FabricSpec
 from repro.simulation.platform import SC_LARGE, Platform
 from repro.tracing.aggregate import AggregatingTracer, TraceMode
 from repro.tracing.span import MAIN_SHARD, Layer, Tracer
+
+if TYPE_CHECKING:
+    from repro.chaos.faults import FaultSchedule
 
 _SERDE = Layer.SERDE
 _OPERATOR = Layer.OPERATOR
@@ -108,11 +111,39 @@ class ServingConfig:
     AGGREGATE accumulates columnar bucket sums span-free -- identical
     e2e/cpu/stack columns, no retained attributions."""
 
+    chaos: "FaultSchedule | None" = None
+    """Optional fault-injection schedule (see :mod:`repro.chaos.faults`).
+    ``None`` (the default) runs the healthy path with zero overhead; an
+    *empty* schedule exercises the chaos code path but injects nothing
+    and replays byte-identical to ``None``."""
+
+    def __post_init__(self):
+        if self.service_workers < 1:
+            raise ValueError(
+                f"service_workers must be >= 1, got {self.service_workers!r}"
+            )
+        if self.max_batches < 1:
+            raise ValueError(
+                f"max_batches must be >= 1, got {self.max_batches!r}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1 (or None), got {self.batch_size!r}"
+            )
+        if not float(self.clock_skew_sigma) >= 0.0:  # also rejects NaN
+            raise ValueError(
+                f"clock_skew_sigma must be non-negative, got "
+                f"{self.clock_skew_sigma!r}"
+            )
+
     def with_batch_size(self, batch_size: int | None) -> "ServingConfig":
         return dataclasses.replace(self, batch_size=batch_size)
 
     def with_trace_mode(self, trace_mode: TraceMode) -> "ServingConfig":
         return dataclasses.replace(self, trace_mode=trace_mode)
+
+    def with_chaos(self, chaos: "FaultSchedule | None") -> "ServingConfig":
+        return dataclasses.replace(self, chaos=chaos)
 
 
 class SimServer:
@@ -127,6 +158,14 @@ class SimServer:
         clock_skew: float = 0.0,
         io_threads: int = 4,
     ):
+        if workers < 1:
+            raise ValueError(
+                f"server {name!r}: workers must be >= 1, got {workers!r}"
+            )
+        if io_threads < 1:
+            raise ValueError(
+                f"server {name!r}: io_threads must be >= 1, got {io_threads!r}"
+            )
         self.name = name
         self.platform = platform
         self.engine = engine
@@ -358,6 +397,44 @@ class ClusterSimulation:
         self.completed: dict[int, float] = {}
         self.on_complete: Callable[[int], None] | None = None
         self.dropped_requests: list[int] = []
+        # Chaos layer: replica routing, fault injection, self-healing.
+        # Lazily imported so serving never depends on chaos unless a
+        # schedule is configured; every chaos RNG draw (replica clock
+        # skews, spike jitter) comes from dedicated "chaos" substreams,
+        # so the healthy streams above are never perturbed.
+        self._chaos = None
+        if self.config.chaos is not None:
+            from repro.chaos.runtime import ChaosRuntime
+
+            chaos_skew_rng = substream(
+                self.config.seed, "chaos", "clock-skew", *cluster_key
+            )
+
+            def make_server(name: str) -> SimServer:
+                extra_skew = 0.0
+                if self.config.clock_skew_sigma != 0.0:
+                    extra_skew = float(
+                        chaos_skew_rng.normal(
+                            0.0, self.config.clock_skew_sigma
+                        )
+                    )
+                return SimServer(
+                    name, self.config.sparse_platform, self.engine,
+                    self.config.service_workers, extra_skew, io_threads,
+                )
+
+            self._chaos = ChaosRuntime(
+                self.config.chaos,
+                self.engine,
+                self.sparse_servers,
+                make_server,
+                spike_rng=substream(
+                    self.config.seed, "chaos", "network", *cluster_key
+                ),
+            )
+            # Injection processes spawn before any replay driver process,
+            # so same-timestamp fault transitions order before arrivals.
+            self._chaos.start()
         self.tenants = [
             _Tenant(index, model, plan, self.config)
             for index, (model, plan) in enumerate(tenants)
@@ -767,34 +844,71 @@ class ClusterSimulation:
         net_name: str,
         target: _ShardLookups,
     ):
-        """One remote call: network out, shard service, network back."""
+        """One remote call: network out, shard service, network back.
+
+        With a chaos runtime, the target host is chosen by replica-aware
+        round-robin routing; a host found dead on arrival costs the
+        failover timeout and the call retries the next live replica, or
+        -- with no replica left -- degrades to a dense-only partial
+        result (the request completes without this shard's embeddings,
+        exactly like an inactive shard: downstream layers read
+        zero-filled blobs).  Without chaos, every step below is the
+        historical healthy path, byte for byte.
+        """
         engine, cm = self.engine, self.config.cost_model
         main = self.main
         record = self._record
         rid = request.request_id
         shard_index = target.shard.index
-        server = self.sparse_servers[shard_index]
+        chaos = self._chaos
+        if chaos is None:
+            server = self.sparse_servers[shard_index]
+        else:
+            server = chaos.route(shard_index)
         rpc_id = next(self._rpc_ids)
         t_client = engine.now
 
-        out_delay = main.egress_delay(target.req_bytes) + self.fabric.one_way_delay(
-            main.platform, server.platform, 0.0
-        )
-        yield out_delay
+        while True:
+            if server is None:
+                # No live replica at all: pay the connection timeout,
+                # then serve this net dense-only (degraded).
+                chaos.mark_degraded(rid)
+                yield chaos.failover_timeout
+                return
+            out_delay = main.egress_delay(target.req_bytes) + self.fabric.one_way_delay(
+                main.platform, server.platform, 0.0
+            )
+            if chaos is not None:
+                out_delay = chaos.network_delay(out_delay)
+            yield out_delay
+            if chaos is None or chaos.is_live(server):
+                break
+            # The host died while the request was in flight: the client
+            # times out and fails over to the next live replica.
+            chaos.count_retry(rid)
+            yield chaos.failover_timeout
+            server = chaos.route(shard_index)
 
         t_service = engine.now
         yield server.workers.acquire()
         t0 = engine.now
         deser = target.server_deser
+        service_fixed = cm.rpc_service_fixed
+        if chaos is not None:
+            deser = chaos.scale_service(shard_index, deser)
         yield deser
         record(
             rid, shard_index, server, _SERDE, "rpc_deser",
             t0, engine.now, deser, None, net_name, bindex, rpc_id,
         )
-        yield cm.rpc_service_fixed
+        if chaos is not None:
+            service_fixed = chaos.scale_service(shard_index, service_fixed)
+        yield service_fixed
 
         t0 = engine.now
         overhead = target.server_overhead
+        if chaos is not None:
+            overhead = chaos.scale_service(shard_index, overhead)
         yield overhead
         record(
             rid, shard_index, server, _NET_OVERHEAD, "net_sched",
@@ -803,6 +917,8 @@ class ClusterSimulation:
 
         t0 = engine.now
         work = target.sls_work
+        if chaos is not None:
+            work = chaos.scale_service(shard_index, work)
         yield work
         record(
             rid, shard_index, server, _OPERATOR, "sls_remote",
@@ -811,6 +927,8 @@ class ClusterSimulation:
 
         t0 = engine.now
         ser = target.server_resp_ser
+        if chaos is not None:
+            ser = chaos.scale_service(shard_index, ser)
         yield ser
         record(
             rid, shard_index, server, _SERDE, "rpc_resp_ser",
@@ -819,12 +937,14 @@ class ClusterSimulation:
         server.workers.release()
         record(
             rid, shard_index, server, _SERVICE, "rpc_e2e",
-            t_service, engine.now, cm.rpc_service_fixed, None, net_name, bindex, rpc_id,
+            t_service, engine.now, service_fixed, None, net_name, bindex, rpc_id,
         )
 
         back_delay = server.egress_delay(target.resp_bytes) + self.fabric.one_way_delay(
             server.platform, main.platform, 0.0
         )
+        if chaos is not None:
+            back_delay = chaos.network_delay(back_delay)
         yield back_delay
         record(
             rid, MAIN_SHARD, main, _RPC_CLIENT, "rpc_outstanding",
@@ -842,19 +962,47 @@ class ClusterSimulation:
         )
         main.io_threads.release()
 
+    # -- chaos accessors --------------------------------------------------------
+    @property
+    def chaos_flags(self) -> dict[int, list[int]] | None:
+        """Per-request ``[degraded, retries]`` counters, keyed by request
+        id; ``None`` without a chaos runtime.  The tracing layer folds
+        these into the ``status``/``degraded``/``retries`` columns."""
+        return None if self._chaos is None else self._chaos.flags
+
+    @property
+    def chaos_timeline(self) -> tuple:
+        """Fault/heal transitions in simulation-time order (empty without
+        a chaos runtime)."""
+        return () if self._chaos is None else tuple(self._chaos.timeline)
+
     # -- replay drivers ---------------------------------------------------------
+    def drain_incomplete(self) -> list[int]:
+        """Free trace state of in-flight requests; returns (and records in
+        ``dropped_requests``) their ids.
+
+        The abort-safety valve: any exception that unwinds a replay mid-
+        flight leaves the tracer holding the interrupted requests' state,
+        which would otherwise leak for the rest of a sweep.  The replay
+        drivers call this from a ``finally`` via :meth:`_finish_replay`;
+        callers driving :meth:`submit` by hand can call it directly.
+        """
+        stale = self.tracer.drain_incomplete()
+        self.dropped_requests.extend(stale)
+        return stale
+
     def _finish_replay(self) -> None:
         """Free trace state of requests that never completed.
 
         Only applies when completions are consumed incrementally (an
         ``on_complete`` hook pops finished requests): whatever the tracer
-        still holds belongs to requests that never finished, and keeping
-        their spans for the rest of a sweep is a leak.  Without a hook the
-        caller owns the trace (e.g. the ``trace`` CLI), so nothing is
-        dropped.
+        still holds belongs to requests that never finished -- on a clean
+        end *and* on an abort, where the replay unwound mid-flight.
+        Without a hook the caller owns the trace (e.g. the ``trace``
+        CLI), so nothing is dropped.
         """
         if self.on_complete is not None:
-            self.dropped_requests.extend(self.tracer.drain_incomplete())
+            self.drain_incomplete()
 
     def run_serial(self, requests: Iterable[Request]) -> None:
         """Serial blocking replay: next request sent after the previous
@@ -865,8 +1013,10 @@ class ClusterSimulation:
                 yield self.submit(request)
 
         self.engine.process(driver())
-        self.engine.run()
-        self._finish_replay()
+        try:
+            self.engine.run()
+        finally:
+            self._finish_replay()
 
     def run_open_loop(self, requests: list[Request], schedule: ReplaySchedule) -> None:
         """Open-loop replay at the schedule's QPS (paper Section VII-A)."""
@@ -882,8 +1032,10 @@ class ClusterSimulation:
                 self.submit(request)
 
         self.engine.process(driver())
-        self.engine.run()
-        self._finish_replay()
+        try:
+            self.engine.run()
+        finally:
+            self._finish_replay()
 
     def run_stream(self, stream: Iterable[tuple[float, int, Request]]) -> None:
         """Mixed open-loop replay: inject ``(arrival_time, tenant, request)``
@@ -906,5 +1058,7 @@ class ClusterSimulation:
                 self.submit(request, int(tenant))
 
         self.engine.process(driver())
-        self.engine.run()
-        self._finish_replay()
+        try:
+            self.engine.run()
+        finally:
+            self._finish_replay()

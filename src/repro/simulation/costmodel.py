@@ -18,7 +18,7 @@ All returned times are seconds on one core.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.core.types import NS, US
 from repro.models.config import FeatureScope, NetConfig, TableConfig
@@ -103,6 +103,31 @@ class CostModel:
     # -- compressed-table execution -------------------------------------------
     dequant_per_id: float = 0.035 * US
     """Extra ALU work per lookup id for quantized rows (Table III)."""
+
+    def __post_init__(self):
+        # Every constant above is a cost or a count: a negative (or NaN)
+        # value would surface as a negative delay deep inside the DES.
+        # Fail at construction with the offending field named instead.
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if not float(value) >= 0.0:  # also rejects NaN
+                raise ValueError(
+                    f"CostModel.{spec.name} must be non-negative, got {value!r}"
+                )
+        if not self.serde_bytes_per_sec > 0.0:
+            raise ValueError(
+                f"CostModel.serde_bytes_per_sec must be positive, got "
+                f"{self.serde_bytes_per_sec!r}"
+            )
+        if self.io_threads < 1:
+            raise ValueError(
+                f"CostModel.io_threads must be >= 1, got {self.io_threads!r}"
+            )
+        if not 0.0 <= self.dense_pre_fraction <= 1.0:
+            raise ValueError(
+                f"CostModel.dense_pre_fraction must be within [0, 1], got "
+                f"{self.dense_pre_fraction!r}"
+            )
 
     # ------------------------------------------------------------------------
     def serde_time(

@@ -41,6 +41,14 @@ class FabricSpec:
     jitter_sigma: float = 0.55
     """Log-scale sigma of the jitter term (controls the tail)."""
 
+    def __post_init__(self):
+        for name in ("propagation", "kernel_overhead", "jitter_median", "jitter_sigma"):
+            value = getattr(self, name)
+            if not float(value) >= 0.0:  # also rejects NaN
+                raise ValueError(
+                    f"FabricSpec.{name} must be non-negative, got {value!r}"
+                )
+
 
 class Fabric:
     """Samples one-way message delays between servers."""

@@ -45,6 +45,23 @@ class Platform:
     dram_access_ns: float
     nic_bandwidth: float
 
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError(
+                f"platform {self.name!r}: cores must be >= 1, got {self.cores!r}"
+            )
+        for attr in ("dram_capacity", "clock_ghz", "mem_bandwidth", "nic_bandwidth"):
+            value = getattr(self, attr)
+            if not float(value) > 0.0:  # also rejects NaN
+                raise ValueError(
+                    f"platform {self.name!r}: {attr} must be positive, got {value!r}"
+                )
+        if not float(self.dram_access_ns) >= 0.0:
+            raise ValueError(
+                f"platform {self.name!r}: dram_access_ns must be non-negative, "
+                f"got {self.dram_access_ns!r}"
+            )
+
     @functools.cached_property
     def relative_clock(self) -> float:
         """Clock relative to SC-Large; scales CPU-bound cost terms."""

@@ -187,6 +187,10 @@ class AggregatingTracer:
         #: positions are request ids).  ``None`` labels every request as
         #: workload 0 -- the single-workload suites.
         self.workload_ids = None
+        #: Optional request-id -> ``[degraded, retries]`` mapping (the
+        #: chaos runtime's flags dict).  ``None`` -- the healthy case --
+        #: leaves the status/degraded/retries columns all-zero.
+        self.chaos_flags = None
         # One-entry lookup cache: spans arrive in per-request bursts
         # (serial replay is a 100% hit), and the dict probe per span is
         # measurable at millions of spans per sweep.
@@ -197,6 +201,14 @@ class AggregatingTracer:
         self._e2e = np.empty(capacity)
         self._cpu = np.empty(capacity)
         self._workload = np.zeros(capacity, dtype=np.int64)
+        # Chaos columns (request id, status, degraded, retries): rows are
+        # in completion order, and under fault injection completion order
+        # is not request order, so the id column is what maps a row back
+        # to its arrival time for availability timelines.
+        self._rid = np.empty(capacity, dtype=np.int64)
+        self._status = np.zeros(capacity, dtype=np.int64)
+        self._degraded = np.zeros(capacity, dtype=np.int64)
+        self._retries = np.zeros(capacity, dtype=np.int64)
         self._stack_cols: dict[tuple[str, str], np.ndarray] = {
             (kind, bucket): np.empty(capacity)
             for kind, buckets in (
@@ -386,6 +398,15 @@ class AggregatingTracer:
             self._workload[index] = (
                 0 if workload_ids is None else int(workload_ids[request_id])
             )
+            self._rid[index] = request_id
+            chaos_flags = self.chaos_flags
+            if chaos_flags is not None:
+                flags = chaos_flags.get(request_id)
+                if flags is not None:
+                    degraded, retried = flags
+                    self._status[index] = 1 if degraded else 0
+                    self._degraded[index] = degraded
+                    self._retries[index] = retried
             cols = self._stack_cols
             cols["latency", E2E_BUCKETS[0]][index] = dense
             cols["latency", E2E_BUCKETS[1]][index] = embedded
@@ -431,6 +452,10 @@ class AggregatingTracer:
         self._e2e = grown(self._e2e)
         self._cpu = grown(self._cpu)
         self._workload = grown(self._workload)
+        self._rid = grown(self._rid)
+        self._status = grown_zeros(self._status)
+        self._degraded = grown_zeros(self._degraded)
+        self._retries = grown_zeros(self._retries)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
         self._shard_cpu_cols = {
             key: grown_zeros(col) for key, col in self._shard_cpu_cols.items()
@@ -454,9 +479,14 @@ class AggregatingTracer:
         np.ndarray,
         dict[int, np.ndarray],
         dict[int, np.ndarray],
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
     ]:
         """Hand over the backing arrays (count, e2e, cpu, stack columns,
-        workload indices, per-shard CPU columns, per-shard op-time columns).
+        workload indices, per-shard CPU columns, per-shard op-time columns,
+        then the chaos columns: request ids, status, degraded, retries).
 
         The caller (``RunResult.adopt_aggregate``) slices by count; the
         arrays are *not* copied, so a tracer must not be reused after
@@ -470,6 +500,10 @@ class AggregatingTracer:
             self._workload,
             self._shard_cpu_cols,
             self._shard_op_cols,
+            self._rid,
+            self._status,
+            self._degraded,
+            self._retries,
         )
 
     # -- lifecycle / parity with Tracer ------------------------------------

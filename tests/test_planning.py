@@ -389,6 +389,28 @@ class TestCapacityPlanner:
         with pytest.raises(ValueError, match="utilization"):
             CandidateSpace(utilization_targets=(1.5,))
 
+    def test_infeasible_message_diagnoses_every_candidate(self):
+        """The NoFeasiblePlanError message must say *why* each candidate
+        fell out -- the SLA target, and per candidate either the DRAM
+        verdict or its worst drop rate."""
+        planner = CapacityPlanner(
+            policy=SlaPolicy(1e-9),
+            space=SMALL_SPACE,
+            settings=SuiteSettings(
+                num_requests=10, pooling_requests=100, serving=ServingConfig(seed=1)
+            ),
+        )
+        plan = planner.plan(small_mix())
+        with pytest.raises(NoFeasiblePlanError) as excinfo:
+            plan.require()
+        message = str(excinfo.value)
+        assert f"target {planner.policy.target_latency * 1e3:.2f} ms" in message
+        for candidate in plan.candidates:
+            assert candidate.label in message
+        # the singular candidate fails on DRAM, the sharded ones on SLA
+        assert "does not fit DRAM" in message
+        assert "drop rate" in message
+
 
 class TestPlanCli:
     def test_plan_command_smoke(self, capsys):
