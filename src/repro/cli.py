@@ -19,6 +19,11 @@ Exposes the library's main workflows without writing code:
   configuration under crash/straggler/network-spike experiments at
   increasing sparse-replica counts, and report availability, SLO
   retention, and the replica count needed for a retention target;
+* ``lint``     -- static determinism lint: reject RNG/replay-contract
+  hazards (global-state RNG, unseeded generators, wall-clock reads,
+  draws under unordered iteration, salted ``hash()``, duplicated
+  substream key paths, env reads in the simulation core) before a
+  sweep can silently diverge; exits 1 on findings;
 * ``trace``    -- replay one request and render the Figure-3 timeline.
 """
 
@@ -46,6 +51,13 @@ from repro.analysis.report import (
     format_table,
 )
 from repro.core.types import GIB
+from repro.lint import (
+    AllowRule,
+    LintConfig,
+    lint_paths,
+    render_json,
+    render_text,
+)
 from repro.experiments.configs import ShardingConfiguration, build_plan
 from repro.experiments.parallel import run_suite_parallel
 from repro.experiments.runner import (
@@ -472,6 +484,25 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    config = LintConfig(allowlist=()) if args.no_default_allow else LintConfig()
+    if args.allow:
+        config = config.with_extra(
+            tuple(AllowRule.parse(spec) for spec in args.allow)
+        )
+    report = lint_paths(args.paths, config)
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(rendered)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"wrote lint report to {args.output}", file=sys.stderr)
+    return 1 if report.findings else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     model = build(args.model)
     pooling = estimate_pooling_factors(model, num_requests=args.pooling_requests)
@@ -487,6 +518,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Capacity-driven scale-out recommendation inference (ISPASS 2021 reproduction)",
+        epilog="Every verb above replays deterministically: identical "
+        "inputs give byte-identical results across serial/parallel "
+        "sweeps, trace modes, and chaos baselines (the contract in "
+        "repro/core/rng.py).  'repro lint' enforces that contract "
+        "statically -- run it (like CI does, next to 'repro plan' and "
+        "'repro chaos' smokes) before landing changes to simulation, "
+        "serving, or chaos code.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -739,6 +777,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the availability report to this path",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically enforce the determinism contract (exit 1 on findings)",
+        description="AST-based determinism lint over the given files or "
+        "directories.  Rules DET001-DET007 reject RNG/replay-contract "
+        "hazards: global-state RNG (DET001), unseeded generators "
+        "(DET002), wall-clock reads (DET003), draws under unordered "
+        "iteration (DET004), salted hash() in seed derivation (DET005), "
+        "duplicated constant substream key paths across the whole linted "
+        "tree (DET006), and os.environ reads inside the simulation core "
+        "(DET007).  Silence a finding with a path-scoped allowlist entry "
+        "or an inline '# detlint: disable=DETnnn -- <reason>' comment; "
+        "the reason is mandatory.",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format ('json' is the versioned CI-artifact form)",
+    )
+    lint.add_argument(
+        "--output", default=None,
+        help="also write the report to this path",
+    )
+    lint.add_argument(
+        "--allow", action="append", default=None, metavar="DETnnn:GLOB",
+        help="extra allowlist entry, e.g. DET003:benchmarks/* (repeatable)",
+    )
+    lint.add_argument(
+        "--no-default-allow", action="store_true",
+        help="drop the built-in allowlist (DET003 under benchmarks/*)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     trace = commands.add_parser("trace", help="render one request's trace")
     add_plan_arguments(trace)

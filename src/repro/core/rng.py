@@ -50,6 +50,37 @@ trace modes.  Three rules make that hold:
    stream, merely enabling the feature would shift every subsequent
    draw and perturb the healthy baseline it is meant to be compared
    against.
+
+Static enforcement (``repro lint``)
+-----------------------------------
+
+The three rules above are enforced *statically* by :mod:`repro.lint`:
+``python -m repro lint src`` (run by CI and by the self-lint test in
+``tests/test_lint.py``) rejects the known ways of breaking them before
+a sweep can silently diverge:
+
+========  rule 1: every draw from a named substream
+DET001    stdlib ``random`` / ``np.random`` global-state functions
+DET002    unseeded ``np.random.default_rng()`` or bit generators
+          constructed outside :func:`substream`
+DET005    builtin salted ``hash()`` where a seed or key could flow
+          (:func:`derive_seed` is the sanctioned derivation)
+DET006    two call sites spelling the same fully-constant key path
+          (they would share one stream; whole-repo registry)
+========  rule 2: draw order is part of the schedule
+DET004    draws or :func:`substream` derivation inside iteration over
+          sets, un-``sorted`` dict views, or directory listings
+========  rule 3: nothing outside the seed may leak in
+DET003    wall-clock reads (``time.time``, ``perf_counter``,
+          ``datetime.now``) in replayed code
+DET007    ``os.environ`` reads inside ``repro.simulation`` /
+          ``repro.serving`` / ``repro.chaos``
+========  ===========================================================
+
+Exceptions are auditable, never silent: a path-scoped allowlist entry
+(:data:`repro.lint.config.DEFAULT_ALLOWLIST`) or an inline
+``# detlint: disable=DETnnn -- <reason>`` comment whose reason clause
+is mandatory.  See ``repro lint --help``.
 """
 
 from __future__ import annotations

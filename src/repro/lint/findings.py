@@ -1,0 +1,49 @@
+"""The determinism linter's finding model.
+
+A :class:`Finding` is one concrete contract hazard at one source
+location.  Findings are value objects: frozen, ordered by location, and
+rendered identically by every reporter -- the text and JSON outputs are
+two views of the same tuple stream, so CI artifacts and terminal output
+cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism-contract violation at one source location."""
+
+    rule: str
+    #: Path as given to the linter, normalized to ``/`` separators.
+    path: str
+    #: 1-based line of the offending node (suppressions attach here).
+    line: int
+    #: 0-based column, as reported by ``ast``.
+    col: int
+    message: str
+    #: Actionable fix, e.g. "draw from substream(seed, ...) instead".
+    suggestion: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """One-line ``path:line:col: RULE message (suggestion)`` form."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.suggestion:
+            text += f" [fix: {self.suggestion}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-reporter payload (stable key set; see reporters.py)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }

@@ -1,0 +1,67 @@
+"""DET006: the whole-repo registry of constant substream key paths.
+
+:func:`repro.core.rng.substream` guarantees stream independence only
+when every component derives a *distinct* key path.  Two call sites that
+spell the same fully-constant path -- say ``substream(seed, "chaos",
+"network")`` in two different modules -- silently share one generator:
+each site's draws advance the other's stream, and enabling one feature
+perturbs the other's replay.  That is exactly the coupling the contract
+(rule 3 in :mod:`repro.core.rng`) forbids, and it is invisible to any
+single-file check.
+
+The per-module collector (:class:`repro.lint.rules.Det006KeyCollector`)
+records every ``substream``/``derive_seed`` call whose key arguments are
+all literals; this module groups the sites across the whole linted tree
+and reports every member of a duplicated group, cross-referencing the
+other sites.  Paths with a non-literal tail (``substream(seed,
+"requests", model.name, ...)``) are not registered: their dynamic
+components are expected to disambiguate them, which the byte-identity
+tests verify dynamically.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding
+from repro.lint.rules import SubstreamKeySite
+
+
+def collision_findings(sites: list[SubstreamKeySite]) -> list[Finding]:
+    """Findings for every site whose constant key path is duplicated.
+
+    A "duplicate" is the same key tuple at two or more distinct
+    ``(path, line)`` locations -- cross-file or within one file; both
+    spellings create one shared stream.
+    """
+    groups: dict[tuple[str, ...], list[SubstreamKeySite]] = {}
+    for site in sites:
+        groups.setdefault(site.keys, []).append(site)
+    findings: list[Finding] = []
+    for keys, members in groups.items():
+        locations = sorted({(site.path, site.line) for site in members})
+        if len(locations) < 2:
+            continue
+        rendered_path = ", ".join(keys)
+        for site in members:
+            others = ", ".join(
+                f"{path}:{line}"
+                for path, line in locations
+                if (path, line) != (site.path, site.line)
+            )
+            findings.append(
+                Finding(
+                    rule="DET006",
+                    path=site.path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"substream key path ({rendered_path}) is also "
+                        f"derived at {others}: the call sites share one "
+                        "stream and perturb each other's draws"
+                    ),
+                    suggestion=(
+                        "give each component a unique constant key prefix "
+                        "(e.g. include the component name in the path)"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,632 @@
+"""Determinism-hazard rules: the registry and the per-module AST checkers.
+
+Each rule is a small :class:`ast.NodeVisitor` (no third-party
+dependencies) over one module's tree, sharing a :class:`ModuleContext`
+that resolves names through the module's import aliases -- so
+``np.random.seed``, ``numpy.random.seed`` and
+``from numpy.random import seed`` all canonicalize to the same dotted
+name before matching.  DET006 is the one cross-file rule; its per-module
+collector lives here but the collision check is in
+:mod:`repro.lint.registry`.
+
+Static analysis is necessarily approximate.  The rules are tuned to the
+contract in :mod:`repro.core.rng`: they over-approximate where a miss
+would be silent corruption (any ``hash()`` call is suspect in a replayed
+system) and under-approximate where the pattern cannot be recognized
+reliably (a generator hidden behind an arbitrary variable name).  What a
+rule cannot see, the byte-identity regression tests still catch; what it
+can see, it rejects before the sweep ever runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One determinism rule: id, short title, and the hazard it rejects."""
+
+    id: str
+    title: str
+    rationale: str
+
+
+RULES: dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "DET000",
+            "malformed suppression / unparseable file",
+            "a detlint directive without a reason (or with an unknown rule "
+            "id) suppresses nothing; a file that does not parse cannot be "
+            "checked",
+        ),
+        Rule(
+            "DET001",
+            "global-state RNG",
+            "the stdlib `random` module and `np.random.*` module-level "
+            "functions share hidden global state; any import-order or "
+            "call-order change silently reshuffles every draw",
+        ),
+        Rule(
+            "DET002",
+            "unseeded generator construction",
+            "`np.random.default_rng()` with no seed draws from OS entropy; "
+            "every replay differs by construction",
+        ),
+        Rule(
+            "DET003",
+            "wall-clock read",
+            "`time.time()`/`perf_counter()`/`datetime.now()` read the host "
+            "clock; replayed code must take time from the simulation engine",
+        ),
+        Rule(
+            "DET004",
+            "RNG draw under unordered iteration",
+            "drawing (or deriving a substream) inside iteration over a set, "
+            "an un-sorted dict view, or a directory listing makes the draw "
+            "order depend on hash seeding or filesystem order",
+        ),
+        Rule(
+            "DET005",
+            "builtin hash() in seed/key derivation",
+            "`hash()` is salted per process (PYTHONHASHSEED); a seed or "
+            "substream key derived from it differs across runs and hosts",
+        ),
+        Rule(
+            "DET006",
+            "duplicated substream key path",
+            "two call sites deriving the same fully-constant substream key "
+            "path share one stream: each site's draws perturb the other's",
+        ),
+        Rule(
+            "DET007",
+            "environment read in simulation core",
+            "`os.environ` inside repro.simulation / repro.serving / "
+            "repro.chaos makes simulated behaviour depend on ambient shell "
+            "state that no seed or config captures",
+        ),
+    )
+}
+
+KNOWN_RULE_IDS: frozenset[str] = frozenset(RULES)
+
+#: Module whose job is to own RNG construction (exempt from DET001/002).
+_RNG_MODULE_SUFFIX = "repro/core/rng.py"
+
+#: Packages forming the replayed simulation core (DET007 scope).
+_SIM_CORE_PACKAGES = ("repro/simulation/", "repro/serving/", "repro/chaos/")
+
+_NP_GLOBAL_STATE_FNS = frozenset(
+    {
+        "seed", "get_state", "set_state", "rand", "randn", "randint",
+        "random", "random_sample", "random_integers", "ranf", "sample",
+        "bytes", "choice", "shuffle", "permutation", "beta", "binomial",
+        "chisquare", "dirichlet", "exponential", "gamma", "geometric",
+        "gumbel", "hypergeometric", "laplace", "logistic", "lognormal",
+        "logseries", "multinomial", "multivariate_normal",
+        "negative_binomial", "noncentral_chisquare", "noncentral_f",
+        "normal", "pareto", "poisson", "power", "rayleigh",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "standard_normal", "standard_t", "triangular", "uniform",
+        "vonmises", "wald", "weibull", "zipf",
+    }
+)
+
+_BIT_GENERATORS = frozenset({"PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"})
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.clock_gettime", "time.clock_gettime_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+_UNORDERED_PRODUCERS = frozenset(
+    {"set", "frozenset", "os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Generator methods that advance stream state when called on an
+#: rng-named receiver (DET004's draw heuristic).
+_DRAW_METHODS = frozenset(
+    {
+        "random", "integers", "normal", "standard_normal", "uniform",
+        "choice", "shuffle", "permutation", "permuted", "poisson",
+        "exponential", "lognormal", "multinomial", "binomial", "gamma",
+        "beta", "bytes", "spawn",
+    }
+)
+
+_SUBSTREAM_FNS = frozenset({"substream", "derive_seed"})
+
+
+# ---------------------------------------------------------------------------
+# Module context / name resolution
+
+
+@dataclass
+class ModuleContext:
+    """Per-module state shared by every rule checker."""
+
+    path: str
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST, path: str) -> "ModuleContext":
+        ctx = cls(path=path)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.asname:
+                        ctx.aliases[name.asname] = name.name
+                    else:
+                        root = name.name.split(".", 1)[0]
+                        ctx.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    bound = name.asname or name.name
+                    ctx.aliases[bound] = f"{node.module}.{name.name}"
+        return ctx
+
+    @property
+    def is_rng_module(self) -> bool:
+        return self.path.endswith(_RNG_MODULE_SUFFIX)
+
+    @property
+    def in_sim_core(self) -> bool:
+        slashed = "/" + self.path
+        return any(f"/{pkg}" in slashed for pkg in _SIM_CORE_PACKAGES)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name for a Name/Attribute chain, or None.
+
+        Resolution follows the module's import aliases; an unimported
+        bare name resolves to itself (builtins like ``hash``/``set``).
+        """
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def _finding(
+    rule: str, ctx: ModuleContext, node: ast.AST, message: str, suggestion: str
+) -> Finding:
+    line = getattr(node, "lineno", 0)
+    col = getattr(node, "col_offset", 0)
+    return Finding(
+        rule=rule, path=ctx.path, line=line, col=col,
+        message=message, suggestion=suggestion,
+    )
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Base: collects findings for one rule over one module."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+
+# ---------------------------------------------------------------------------
+# DET001 -- global-state RNG
+
+
+class Det001GlobalRng(_RuleVisitor):
+    _SUGGESTION = (
+        "draw from a named substream: repro.core.rng.substream(seed, ...)"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for name in node.names:
+            if name.name == "random" or name.name.startswith("random."):
+                self.findings.append(
+                    _finding(
+                        "DET001", self.ctx, node,
+                        "import of the stdlib `random` module (hidden global "
+                        "state, salted by interpreter startup)",
+                        self._SUGGESTION,
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not node.level and node.module and (
+            node.module == "random" or node.module.startswith("random.")
+        ):
+            self.findings.append(
+                _finding(
+                    "DET001", self.ctx, node,
+                    "import from the stdlib `random` module",
+                    self._SUGGESTION,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if resolved:
+            head, _, tail = resolved.rpartition(".")
+            if head == "random":
+                self.findings.append(
+                    _finding(
+                        "DET001", self.ctx, node,
+                        f"call to stdlib random.{tail}() (global-state RNG)",
+                        self._SUGGESTION,
+                    )
+                )
+            elif head == "numpy.random" and tail in _NP_GLOBAL_STATE_FNS:
+                self.findings.append(
+                    _finding(
+                        "DET001", self.ctx, node,
+                        f"call to np.random.{tail}() (module-level global "
+                        "state shared by every caller)",
+                        self._SUGGESTION,
+                    )
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET002 -- unseeded generator construction
+
+
+def _seed_argument_missing(call: ast.Call) -> bool:
+    """True when the call passes no seed (or an explicit None seed)."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is None
+    return True
+
+
+class Det002UnseededGenerator(_RuleVisitor):
+    _SUGGESTION = (
+        "construct generators only through substream(seed, ...) so the "
+        "stream is a pure function of (root seed, key path)"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if resolved:
+            tail = resolved.rpartition(".")[2]
+            if resolved == "numpy.random.default_rng" and _seed_argument_missing(
+                node
+            ):
+                self.findings.append(
+                    _finding(
+                        "DET002", self.ctx, node,
+                        "unseeded np.random.default_rng() draws from OS "
+                        "entropy; no two replays match",
+                        self._SUGGESTION,
+                    )
+                )
+            elif tail == "Generator" and resolved.startswith("numpy.random"):
+                # An unseeded bit generator *argument* is flagged by the
+                # branch below when its own Call node is visited.
+                if not node.args:
+                    self.findings.append(
+                        _finding(
+                            "DET002", self.ctx, node,
+                            "np.random.Generator constructed without a bit "
+                            "generator",
+                            self._SUGGESTION,
+                        )
+                    )
+            elif tail in _BIT_GENERATORS and _seed_argument_missing(node):
+                self.findings.append(
+                    _finding(
+                        "DET002", self.ctx, node,
+                        f"unseeded bit generator {tail}()",
+                        self._SUGGESTION,
+                    )
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET003 -- wall-clock reads
+
+
+class Det003WallClock(_RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if resolved in _WALL_CLOCK_CALLS:
+            self.findings.append(
+                _finding(
+                    "DET003", self.ctx, node,
+                    f"wall-clock read {resolved}() in replayed code",
+                    "take time from the simulation engine (engine.now) or "
+                    "suppress with a reason if the timestamp is genuinely "
+                    "about the host",
+                )
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET004 -- RNG draws under unordered iteration
+
+
+class Det004UnorderedIteration(_RuleVisitor):
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._unordered_stack: list[str] = []
+
+    # -- unordered-iterable classification --------------------------------
+    def _unordered_reason(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            resolved = self.ctx.resolve(node.func)
+            if resolved == "sorted":
+                return None  # sorted() imposes a total order
+            if resolved in {"enumerate", "list", "tuple", "reversed"}:
+                if node.args:
+                    return self._unordered_reason(node.args[0])
+                return None
+            if resolved in _UNORDERED_PRODUCERS:
+                return f"{resolved}()"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DICT_VIEW_METHODS
+            ):
+                return f"an un-sorted dict .{node.func.attr}() view"
+        return None
+
+    # -- draw classification ----------------------------------------------
+    def _draw_description(self, node: ast.Call) -> str | None:
+        resolved = self.ctx.resolve(node.func)
+        if resolved and resolved.rpartition(".")[2] in _SUBSTREAM_FNS:
+            return f"{resolved.rpartition('.')[2]}() substream derivation"
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _DRAW_METHODS:
+            receiver: str | None = None
+            if isinstance(func.value, ast.Name):
+                receiver = func.value.id
+            elif isinstance(func.value, ast.Attribute):
+                receiver = func.value.attr
+            if receiver and "rng" in receiver.lower():
+                return f"{receiver}.{func.attr}() draw"
+        return None
+
+    # -- traversal ---------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self.visit(node.target)
+        reason = self._unordered_reason(node.iter)
+        if reason:
+            self._unordered_stack.append(reason)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        if reason:
+            self._unordered_stack.pop()
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment, method-assign]
+
+    def _visit_comprehension(
+        self, node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp
+    ) -> None:
+        pushed = 0
+        for generator in node.generators:
+            self.visit(generator.iter)
+            self.visit(generator.target)
+            reason = self._unordered_reason(generator.iter)
+            if reason:
+                self._unordered_stack.append(reason)
+                pushed += 1
+            for condition in generator.ifs:
+                self.visit(condition)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        for _ in range(pushed):
+            self._unordered_stack.pop()
+
+    visit_ListComp = _visit_comprehension  # type: ignore[assignment, method-assign]
+    visit_SetComp = _visit_comprehension  # type: ignore[assignment, method-assign]
+    visit_GeneratorExp = _visit_comprehension  # type: ignore[assignment, method-assign]
+    visit_DictComp = _visit_comprehension  # type: ignore[assignment, method-assign]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._unordered_stack:
+            description = self._draw_description(node)
+            if description:
+                self.findings.append(
+                    _finding(
+                        "DET004", self.ctx, node,
+                        f"{description} inside iteration over "
+                        f"{self._unordered_stack[-1]}: draw order is not "
+                        "part of the replay schedule",
+                        "iterate a sorted() or otherwise deterministic "
+                        "sequence, or hoist the draw out of the loop",
+                    )
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET005 -- builtin hash()
+
+
+class Det005SaltedHash(_RuleVisitor):
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._function_stack: list[str] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment, method-assign]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and self.ctx.resolve(node.func) == "hash"
+            and "__hash__" not in self._function_stack
+        ):
+            self.findings.append(
+                _finding(
+                    "DET005", self.ctx, node,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED); anything derived from it -- a seed, "
+                    "a substream key, a shard assignment -- differs across "
+                    "runs",
+                    "derive seeds with repro.core.rng.derive_seed (SHA-256) "
+                    "or use hashlib directly",
+                )
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET006 -- substream key-path collection (cross-file check in registry.py)
+
+
+@dataclass(frozen=True)
+class SubstreamKeySite:
+    """One fully-constant ``substream``/``derive_seed`` key path."""
+
+    keys: tuple[str, ...]
+    path: str
+    line: int
+    col: int
+
+
+class Det006KeyCollector(_RuleVisitor):
+    """Collects fully-constant key paths; emits no findings itself."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self.sites: list[SubstreamKeySite] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if (
+            resolved
+            and resolved.rpartition(".")[2] in _SUBSTREAM_FNS
+            and len(node.args) >= 2
+        ):
+            keys: list[str] = []
+            fully_constant = True
+            for argument in node.args[1:]:
+                if isinstance(argument, ast.Constant):
+                    keys.append(repr(argument.value))
+                else:
+                    fully_constant = False
+                    break
+            if fully_constant and keys:
+                self.sites.append(
+                    SubstreamKeySite(
+                        keys=tuple(keys), path=self.ctx.path,
+                        line=node.lineno, col=node.col_offset,
+                    )
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET007 -- environment reads in the simulation core
+
+
+class Det007EnvironRead(_RuleVisitor):
+    _SUGGESTION = (
+        "thread the knob through an explicit config object "
+        "(ServingConfig / SuiteSettings) so replays capture it"
+    )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.ctx.resolve(node) == "os.environ":
+            self.findings.append(
+                _finding(
+                    "DET007", self.ctx, node,
+                    "os.environ read inside the simulation core",
+                    self._SUGGESTION,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # `from os import environ` binds a bare name.
+        if self.ctx.resolve(node) == "os.environ":
+            self.findings.append(
+                _finding(
+                    "DET007", self.ctx, node,
+                    "os.environ read inside the simulation core",
+                    self._SUGGESTION,
+                )
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.resolve(node.func) == "os.getenv":
+            self.findings.append(
+                _finding(
+                    "DET007", self.ctx, node,
+                    "os.getenv() read inside the simulation core",
+                    self._SUGGESTION,
+                )
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# Per-module entry point
+
+
+def check_module(
+    tree: ast.AST, ctx: ModuleContext
+) -> tuple[list[Finding], list[SubstreamKeySite]]:
+    """Run every per-module rule; return (findings, DET006 key sites).
+
+    DET001/DET002 are skipped inside ``repro/core/rng.py`` -- that module
+    *is* the sanctioned constructor.  DET007 only applies inside the
+    simulation-core packages.
+    """
+    visitors: list[_RuleVisitor] = [
+        Det003WallClock(ctx),
+        Det004UnorderedIteration(ctx),
+        Det005SaltedHash(ctx),
+    ]
+    if not ctx.is_rng_module:
+        visitors.append(Det001GlobalRng(ctx))
+        visitors.append(Det002UnseededGenerator(ctx))
+    if ctx.in_sim_core:
+        visitors.append(Det007EnvironRead(ctx))
+    collector = Det006KeyCollector(ctx)
+    visitors.append(collector)
+    findings: list[Finding] = []
+    for visitor in visitors:
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    return findings, collector.sites

@@ -1,0 +1,117 @@
+"""Inline ``# detlint: disable=...`` suppression comments.
+
+Syntax (one comment, same physical line as the finding it silences)::
+
+    risky_call()  # detlint: disable=DET003 -- benchmark timestamps are wall-clock
+
+* ``disable=`` takes one or more comma-separated rule ids.
+* The ``-- <reason>`` clause is **mandatory**.  A suppression is an
+  exception to the determinism contract; the reason is what a reviewer
+  audits.  A directive with no reason, an empty reason, an unknown rule
+  id, or a malformed rule list suppresses nothing and is itself reported
+  as DET000.
+* DET000 cannot be suppressed (a broken directive cannot vouch for
+  itself).
+
+Comments are extracted with :mod:`tokenize`, not regexes over raw lines,
+so ``detlint:`` text inside string literals is never misread as a
+directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+#: Anything that *looks* like a directive gets full syntax validation.
+_DIRECTIVE_MARKER = re.compile(r"#\s*detlint:")
+_DIRECTIVE = re.compile(
+    r"#\s*detlint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)\s*--\s*(?P<reason>\S.*)$"
+)
+_RULE_ID = re.compile(r"^DET\d{3}$")
+
+#: The meta rule id for malformed directives / unparseable files.
+META_RULE = "DET000"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of line -> suppressed rule ids, plus parse errors."""
+
+    #: 1-based line -> frozenset of rule ids disabled on that line.
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: DET000 findings for malformed directives.
+    errors: list[Finding] = field(default_factory=list)
+
+    def suppresses(self, finding: Finding) -> bool:
+        if finding.rule == META_RULE:
+            return False
+        return finding.rule in self.by_line.get(finding.line, frozenset())
+
+
+def parse_suppressions(
+    source: str, path: str, known_rules: frozenset[str]
+) -> SuppressionIndex:
+    """Build the suppression index for one module's source text."""
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The AST pass reports the parse failure; nothing to index here.
+        return index
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not _DIRECTIVE_MARKER.search(comment):
+            continue
+        line = token.start[0]
+        match = _DIRECTIVE.search(comment)
+        if not match:
+            index.errors.append(
+                Finding(
+                    rule=META_RULE,
+                    path=path,
+                    line=line,
+                    col=token.start[1],
+                    message=(
+                        "malformed detlint directive: expected "
+                        "'# detlint: disable=DETnnn -- <reason>' "
+                        "(the reason clause is mandatory)"
+                    ),
+                    suggestion="state which rule is disabled and why",
+                )
+            )
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        bad = tuple(
+            rule
+            for rule in rules
+            if not _RULE_ID.match(rule)
+            or rule not in known_rules
+            or rule == META_RULE
+        )
+        if not rules or bad:
+            index.errors.append(
+                Finding(
+                    rule=META_RULE,
+                    path=path,
+                    line=line,
+                    col=token.start[1],
+                    message=(
+                        "detlint directive names unknown or unsuppressable "
+                        f"rule(s): {', '.join(bad) if bad else '(none given)'}"
+                    ),
+                    suggestion="use DET001..DET007 ids (DET000 cannot be disabled)",
+                )
+            )
+            continue
+        merged = index.by_line.get(line, frozenset()) | frozenset(rules)
+        index.by_line[line] = merged
+    return index

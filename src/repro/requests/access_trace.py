@@ -72,7 +72,10 @@ def collect_access_trace(
     trace = AccessTrace(model_name=model.name, num_requests=len(requests))
     buffers: dict[str, list[np.ndarray]] = {}
     for request in requests:
-        for draw in request.draws.values():
+        # Sorted draw order (DET004): each draw has its own
+        # (table, request) substream, so ordering by table name is
+        # byte-identical to insertion order -- but provably so.
+        for draw in sorted(request.draws.values(), key=lambda d: d.table_name):
             table = model.table(draw.table_name)
             rng = substream(seed, "access", draw.table_name, request.request_id)
             buffers.setdefault(draw.table_name, []).append(
@@ -127,7 +130,11 @@ def collect_correlated_trace(
     recent: dict[str, np.ndarray] = {}
     rngs: dict[str, np.random.Generator] = {}
     for request in requests:
-        for draw in request.draws.values():
+        # Sorted draw order (DET004): every stream below (rng, recency
+        # window, buffers) is keyed per table, so each table's draw
+        # sequence depends only on the *request* order, never on the
+        # intra-request table order -- sorting changes no bytes.
+        for draw in sorted(request.draws.values(), key=lambda d: d.table_name):
             name = draw.table_name
             rng = rngs.get(name)
             if rng is None:

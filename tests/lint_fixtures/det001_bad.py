@@ -1,0 +1,7 @@
+"""DET001 bad twin: np.random module-level global-state draw."""
+
+import numpy as np
+
+
+def shuffle_rows(rows: "np.ndarray") -> None:
+    np.random.shuffle(rows)

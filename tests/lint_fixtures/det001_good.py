@@ -1,0 +1,9 @@
+"""DET001 good twin: the draw comes from a named substream."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def shuffle_rows(rows: "np.ndarray", seed: int) -> None:
+    substream(seed, "fixture-det001", "shuffle").shuffle(rows)

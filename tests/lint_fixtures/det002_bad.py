@@ -1,0 +1,7 @@
+"""DET002 bad twin: unseeded generator drawn from OS entropy."""
+
+import numpy as np
+
+
+def fresh_generator() -> np.random.Generator:
+    return np.random.default_rng()

@@ -1,0 +1,9 @@
+"""DET002 good twin: generator construction goes through substream()."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    return substream(seed, "fixture-det002")

@@ -1,0 +1,7 @@
+"""DET003 bad twin: wall-clock read in replayed code."""
+
+import time
+
+
+def arrival_timestamp() -> float:
+    return time.time()

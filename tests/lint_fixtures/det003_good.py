@@ -1,0 +1,5 @@
+"""DET003 good twin: time comes from the simulation engine."""
+
+
+def arrival_timestamp(engine: object) -> float:
+    return float(getattr(engine, "now"))

@@ -1,0 +1,14 @@
+"""DET004 bad twin: substream derivation under un-sorted dict iteration."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def per_table_streams(
+    seed: int, tables: dict[str, int]
+) -> dict[str, np.random.Generator]:
+    streams = {}
+    for name in tables.keys():
+        streams[name] = substream(seed, "fixture-det004", name)
+    return streams

@@ -1,0 +1,14 @@
+"""DET004 good twin: iteration order is pinned with sorted()."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def per_table_streams(
+    seed: int, tables: dict[str, int]
+) -> dict[str, np.random.Generator]:
+    streams = {}
+    for name in sorted(tables.keys()):
+        streams[name] = substream(seed, "fixture-det004-good", name)
+    return streams

@@ -1,0 +1,5 @@
+"""DET005 bad twin: salted builtin hash() derives a stream key."""
+
+
+def stream_key(table_name: str) -> int:
+    return hash(table_name) & 0xFFFF

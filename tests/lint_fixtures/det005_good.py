@@ -1,0 +1,7 @@
+"""DET005 good twin: SHA-256 key derivation, stable across processes."""
+
+from repro.core.rng import derive_seed
+
+
+def stream_key(table_name: str) -> int:
+    return derive_seed(0, table_name) & 0xFFFF

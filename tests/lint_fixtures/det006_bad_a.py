@@ -1,0 +1,9 @@
+"""DET006 bad twin (site A): clean alone, collides with site B."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def spike_stream(seed: int) -> np.random.Generator:
+    return substream(seed, "chaos", "spike")

@@ -1,0 +1,9 @@
+"""DET006 bad twin (site B): derives the same key path as site A."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def jitter_stream(seed: int) -> np.random.Generator:
+    return substream(seed, "chaos", "spike")

@@ -1,0 +1,9 @@
+"""DET006 good twin (site A): component-unique constant key prefix."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def spike_stream(seed: int) -> np.random.Generator:
+    return substream(seed, "chaos-spike", "jitter")

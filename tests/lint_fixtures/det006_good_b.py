@@ -1,0 +1,9 @@
+"""DET006 good twin (site B): a different prefix, a different stream."""
+
+import numpy as np
+
+from repro.core.rng import substream
+
+
+def straggler_stream(seed: int) -> np.random.Generator:
+    return substream(seed, "chaos-straggler", "jitter")

@@ -1,0 +1,7 @@
+"""DET007 bad twin: env read inside the simulation core scope."""
+
+import os
+
+
+def tuned_worker_count() -> int:
+    return int(os.environ.get("REPRO_WORKERS", "4"))

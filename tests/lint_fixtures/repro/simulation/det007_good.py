@@ -1,0 +1,5 @@
+"""DET007 good twin: the knob arrives through an explicit config."""
+
+
+def tuned_worker_count(config: object) -> int:
+    return int(getattr(config, "service_workers"))

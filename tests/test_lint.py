@@ -1,0 +1,456 @@
+"""Tests for the determinism linter (``repro.lint`` / ``repro lint``).
+
+Covers the fixture corpus (each bad fixture triggers exactly its rule,
+each good twin is clean), suppression-comment parsing (a reason is
+mandatory), the DET006 cross-file key-path registry, path-scoped
+allowlists, both reporters, CLI exit codes, and the self-lint gate that
+keeps ``src/`` (and ``benchmarks``/``examples``) clean.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    AllowRule,
+    LintConfig,
+    RULES,
+    discover_files,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.lint.registry import collision_findings
+from repro.lint.rules import SubstreamKeySite
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures")
+
+#: Rules with a single-file bad/good fixture pair (DET006 is cross-file).
+SINGLE_FILE_RULES = ("DET001", "DET002", "DET003", "DET004", "DET005", "DET007")
+
+#: No allowlist: fixture findings must survive on their own terms.
+BARE = LintConfig(allowlist=())
+
+
+def fixture_path(name: str) -> str:
+    # DET007 is path-scoped to the simulation core, so its fixtures live
+    # under a repro/simulation/ subtree inside the corpus.
+    if name.startswith("det007"):
+        return os.path.join(FIXTURES, "repro", "simulation", f"{name}.py")
+    return os.path.join(FIXTURES, f"{name}.py")
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("rule", SINGLE_FILE_RULES)
+    def test_bad_fixture_triggers_exactly_its_rule(self, rule):
+        report = lint_paths([fixture_path(f"{rule.lower()}_bad")], BARE)
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == rule
+        assert report.findings[0].message
+        assert report.findings[0].suggestion
+
+    @pytest.mark.parametrize("rule", SINGLE_FILE_RULES)
+    def test_good_twin_is_clean(self, rule):
+        report = lint_paths([fixture_path(f"{rule.lower()}_good")], BARE)
+        assert report.findings == []
+
+    def test_det006_sites_are_clean_alone(self):
+        for name in ("det006_bad_a", "det006_bad_b"):
+            assert lint_paths([fixture_path(name)], BARE).findings == []
+
+    def test_det006_pair_collides_cross_file(self):
+        report = lint_paths(
+            [fixture_path("det006_bad_a"), fixture_path("det006_bad_b")], BARE
+        )
+        assert [finding.rule for finding in report.findings] == ["DET006", "DET006"]
+        # Each site's message cross-references the other file.
+        first, second = report.findings
+        assert "det006_bad_b.py" in first.message
+        assert "det006_bad_a.py" in second.message
+        assert "'chaos', 'spike'" in first.message
+
+    def test_det006_good_twins_use_distinct_prefixes(self):
+        report = lint_paths(
+            [fixture_path("det006_good_a"), fixture_path("det006_good_b")], BARE
+        )
+        assert report.findings == []
+
+    def test_whole_corpus_covers_every_rule(self):
+        report = lint_paths([FIXTURES], BARE)
+        triggered = {finding.rule for finding in report.findings}
+        assert triggered == set(SINGLE_FILE_RULES) | {"DET006"}
+        # One finding per bad fixture, two for the DET006 pair.
+        assert len(report.findings) == len(SINGLE_FILE_RULES) + 2
+
+    def test_every_rule_is_registered(self):
+        assert set(SINGLE_FILE_RULES) | {"DET000", "DET006"} == set(RULES)
+
+
+class TestRuleDetection:
+    """Spelling variants beyond the minimal fixtures, via lint_source."""
+
+    def _rules(self, source, path="pkg/module.py"):
+        findings, _ = lint_source(source, path)
+        return [finding.rule for finding in findings]
+
+    def test_stdlib_random_import_and_call(self):
+        src = "import random\n\nx = random.random()\n"
+        assert self._rules(src) == ["DET001", "DET001"]
+
+    def test_from_random_import(self):
+        assert self._rules("from random import shuffle\n") == ["DET001"]
+
+    def test_np_random_alias_spellings(self):
+        src = (
+            "import numpy as np\n"
+            "import numpy.random\n"
+            "from numpy.random import rand\n"
+            "a = np.random.seed(3)\n"
+            "b = numpy.random.normal()\n"
+            "c = rand(4)\n"
+        )
+        assert self._rules(src) == ["DET001", "DET001", "DET001"]
+
+    def test_np_generator_annotation_is_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> np.random.Generator:\n"
+            "    return rng\n"
+        )
+        assert self._rules(src) == []
+
+    def test_unseeded_spellings(self):
+        src = (
+            "import numpy as np\n"
+            "from numpy.random import default_rng\n"
+            "a = np.random.default_rng()\n"
+            "b = np.random.default_rng(None)\n"
+            "c = default_rng(seed=None)\n"
+            "d = np.random.Generator(np.random.PCG64())\n"
+        )
+        assert self._rules(src) == ["DET002", "DET002", "DET002", "DET002"]
+
+    def test_seeded_construction_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng(7)\n"
+            "b = np.random.default_rng(seed=7)\n"
+            "c = np.random.Generator(np.random.PCG64(7))\n"
+        )
+        assert self._rules(src) == []
+
+    def test_rng_module_is_exempt_from_det001_and_det002(self):
+        src = "import numpy as np\n\nx = np.random.default_rng()\n"
+        assert self._rules(src, path="src/repro/core/rng.py") == []
+        assert self._rules(src, path="src/repro/core/other.py") == ["DET002"]
+
+    def test_wall_clock_spellings(self):
+        src = (
+            "import time\n"
+            "from datetime import datetime\n"
+            "from time import perf_counter\n"
+            "a = time.monotonic()\n"
+            "b = datetime.now()\n"
+            "c = perf_counter()\n"
+        )
+        assert self._rules(src) == ["DET003", "DET003", "DET003"]
+
+    def test_draw_under_set_literal_and_glob(self):
+        src = (
+            "import glob\n"
+            "from repro.core.rng import substream\n"
+            "def f(seed):\n"
+            "    out = []\n"
+            "    for tag in {'a', 'b'}:\n"
+            "        out.append(substream(seed, 'k', tag))\n"
+            "    for path in glob.glob('*.json'):\n"
+            "        out.append(substream(seed, 'p', path))\n"
+            "    return out\n"
+        )
+        assert self._rules(src) == ["DET004", "DET004"]
+
+    def test_draw_in_comprehension_over_dict_view(self):
+        src = (
+            "from repro.core.rng import substream\n"
+            "def f(seed, tables):\n"
+            "    return [substream(seed, 'k', t) for t in tables.keys()]\n"
+        )
+        assert self._rules(src) == ["DET004"]
+
+    def test_sorted_wrap_is_ordered(self):
+        src = (
+            "from repro.core.rng import substream\n"
+            "def f(seed, tables):\n"
+            "    return [substream(seed, 'k', t) for t in sorted(tables.keys())]\n"
+        )
+        assert self._rules(src) == []
+
+    def test_enumerate_over_unordered_still_flagged(self):
+        src = (
+            "from repro.core.rng import substream\n"
+            "def f(seed, names):\n"
+            "    out = []\n"
+            "    for i, n in enumerate(set(names)):\n"
+            "        out.append(substream(seed, 'k', i, n))\n"
+            "    return out\n"
+        )
+        assert self._rules(src) == ["DET004"]
+
+    def test_non_draw_work_under_unordered_iteration_is_clean(self):
+        src = (
+            "def f(tables):\n"
+            "    total = 0\n"
+            "    for name in tables.keys():\n"
+            "        total += len(name)\n"
+            "    return total\n"
+        )
+        assert self._rules(src) == []
+
+    def test_hash_in_dunder_hash_is_allowed(self):
+        src = (
+            "class Key:\n"
+            "    def __hash__(self):\n"
+            "        return hash(('key', 1))\n"
+        )
+        assert self._rules(src) == []
+        assert self._rules("seed = hash('table')\n") == ["DET005"]
+
+    def test_det007_is_scoped_to_simulation_core(self):
+        src = "import os\n\nworkers = os.environ.get('W', '1')\n"
+        assert self._rules(src, path="src/repro/serving/host.py") == ["DET007"]
+        assert self._rules(src, path="src/repro/chaos/knobs.py") == ["DET007"]
+        assert self._rules(src, path="src/repro/analysis/knobs.py") == []
+
+    def test_det007_getenv_and_from_import(self):
+        src = (
+            "from os import environ, getenv\n"
+            "a = environ['X']\n"
+            "b = getenv('Y')\n"
+        )
+        assert self._rules(src, path="src/repro/simulation/knobs.py") == [
+            "DET007",
+            "DET007",
+        ]
+
+    def test_syntax_error_reports_det000(self):
+        assert self._rules("def broken(:\n") == ["DET000"]
+
+
+class TestSuppressions:
+    def _findings(self, source, path="pkg/module.py"):
+        return lint_source(source, path)[0]
+
+    def test_reasoned_suppression_silences_the_finding(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # detlint: disable=DET003 -- host profiling stamp\n"
+        )
+        assert self._findings(src) == []
+
+    def test_missing_reason_is_rejected_and_suppresses_nothing(self):
+        src = "import time\n\nt = time.time()  # detlint: disable=DET003\n"
+        rules = sorted(finding.rule for finding in self._findings(src))
+        assert rules == ["DET000", "DET003"]
+
+    def test_empty_reason_is_rejected(self):
+        src = "import time\n\nt = time.time()  # detlint: disable=DET003 -- \n"
+        rules = sorted(finding.rule for finding in self._findings(src))
+        assert rules == ["DET000", "DET003"]
+
+    def test_unknown_rule_id_is_rejected(self):
+        src = "x = 1  # detlint: disable=DET999 -- not a rule\n"
+        findings = self._findings(src)
+        assert [finding.rule for finding in findings] == ["DET000"]
+        assert "DET999" in findings[0].message
+
+    def test_det000_cannot_be_suppressed(self):
+        src = "x = 1  # detlint: disable=DET000 -- quiet the meta rule\n"
+        assert [finding.rule for finding in self._findings(src)] == ["DET000"]
+
+    def test_multi_rule_directive(self):
+        src = (
+            "import time\n"
+            "import os\n"
+            "t = (time.time(), os.getenv('X'))"
+            "  # detlint: disable=DET003,DET007 -- host diagnostics\n"
+        )
+        assert self._findings(src, path="src/repro/simulation/diag.py") == []
+
+    def test_suppression_only_covers_its_own_line(self):
+        src = (
+            "import time\n"
+            "a = 1  # detlint: disable=DET003 -- wrong line\n"
+            "t = time.time()\n"
+        )
+        assert [finding.rule for finding in self._findings(src)] == ["DET003"]
+
+    def test_directive_inside_string_literal_is_ignored(self):
+        src = "doc = '# detlint: disable=DET003'\n"
+        assert self._findings(src) == []
+
+    def test_det006_site_can_be_suppressed(self, tmp_path):
+        site_a = tmp_path / "a.py"
+        site_b = tmp_path / "b.py"
+        site_a.write_text(
+            "from repro.core.rng import substream\n"
+            "s = substream(0, 'dup', 'key')\n"
+        )
+        site_b.write_text(
+            "from repro.core.rng import substream\n"
+            "s = substream(0, 'dup', 'key')"
+            "  # detlint: disable=DET006 -- intentional shared stream\n"
+        )
+        report = lint_paths([str(site_a), str(site_b)], BARE)
+        assert [finding.rule for finding in report.findings] == ["DET006"]
+        assert report.findings[0].path.endswith("a.py")
+
+
+class TestDet006Registry:
+    def test_duplicate_in_one_file_is_flagged(self):
+        src = (
+            "from repro.core.rng import substream\n"
+            "a = substream(0, 'chaos', 'spike')\n"
+            "b = substream(0, 'chaos', 'spike')\n"
+        )
+        report_path = "pkg/module.py"
+        findings, sites = lint_source(src, report_path)
+        assert findings == []  # single-file rules see nothing
+        collisions = collision_findings(list(sites))
+        assert [finding.rule for finding in collisions] == ["DET006", "DET006"]
+        assert {finding.line for finding in collisions} == {2, 3}
+
+    def test_dynamic_tail_is_not_registered(self):
+        src = (
+            "from repro.core.rng import substream\n"
+            "def f(seed, name):\n"
+            "    return substream(seed, 'requests', name)\n"
+        )
+        _, sites = lint_source(src, "pkg/module.py")
+        assert sites == []
+
+    def test_distinct_constant_paths_do_not_collide(self):
+        sites = [
+            SubstreamKeySite(("'fabric'",), "a.py", 1, 0),
+            SubstreamKeySite(("'cluster'",), "b.py", 1, 0),
+        ]
+        assert collision_findings(sites) == []
+
+
+class TestConfigAndReporters:
+    def test_allowlist_drops_matching_findings(self):
+        config = LintConfig(allowlist=(AllowRule("DET003", "*det003_bad.py"),))
+        report = lint_paths([fixture_path("det003_bad")], config)
+        assert report.findings == []
+
+    def test_allowlist_is_rule_specific(self):
+        config = LintConfig(allowlist=(AllowRule("DET001", "*det003_bad.py"),))
+        report = lint_paths([fixture_path("det003_bad")], config)
+        assert [finding.rule for finding in report.findings] == ["DET003"]
+
+    def test_allow_rule_parse(self):
+        rule = AllowRule.parse("DET003:benchmarks/*")
+        assert rule == AllowRule("DET003", "benchmarks/*")
+        with pytest.raises(ValueError):
+            AllowRule.parse("DET003")
+        with pytest.raises(ValueError):
+            AllowRule.parse(":benchmarks/*")
+
+    def test_json_report_shape(self):
+        report = lint_paths([fixture_path("det001_bad")], BARE)
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert payload["files_linted"] == 1
+        assert payload["counts"] == {"DET001": 1}
+        finding = payload["findings"][0]
+        assert set(finding) == {
+            "rule", "path", "line", "col", "message", "suggestion",
+        }
+
+    def test_text_report_mentions_rule_titles(self):
+        report = lint_paths([fixture_path("det001_bad")], BARE)
+        text = render_text(report)
+        assert "DET001" in text and "global-state RNG" in text
+
+    def test_discovery_is_sorted_and_deduplicated(self):
+        once = discover_files([FIXTURES, fixture_path("det001_bad")])
+        assert once == sorted(once)
+        assert len(once) == len(set(once))
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "name",
+        [f"{rule.lower()}_bad" for rule in SINGLE_FILE_RULES],
+    )
+    def test_bad_fixture_exits_1(self, capsys, name):
+        code = main(["lint", "--no-default-allow", fixture_path(name)])
+        assert code == 1
+        assert name.split("_")[0].upper() in capsys.readouterr().out
+
+    def test_clean_tree_exits_0(self, capsys):
+        code = main(["lint", fixture_path("det001_good")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format_and_output_artifact(self, capsys, tmp_path):
+        out = tmp_path / "lint_report.json"
+        code = main(
+            [
+                "lint", "--format", "json", "--output", str(out),
+                "--no-default-allow", fixture_path("det002_bad"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["counts"] == {"DET002": 1}
+        assert json.loads(capsys.readouterr().out)["counts"] == {"DET002": 1}
+
+    def test_cli_allow_flag(self, capsys):
+        code = main(
+            ["lint", "--allow", "DET003:*det003_bad.py", fixture_path("det003_bad")]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_det006_pair_through_cli(self, capsys):
+        code = main(
+            [
+                "lint", "--no-default-allow",
+                fixture_path("det006_bad_a"), fixture_path("det006_bad_b"),
+            ]
+        )
+        assert code == 1
+        assert "DET006" in capsys.readouterr().out
+
+
+class TestSelfLint:
+    """The gate the tentpole exists for: the repo's own tree stays clean."""
+
+    def test_src_is_clean(self):
+        report = lint_paths([os.path.join(ROOT, "src")], LintConfig())
+        assert report.findings == [], render_text(report)
+        assert len(report.files) > 50
+
+    def test_benchmarks_and_examples_are_clean(self, monkeypatch):
+        # Relative paths so the default DET003 benchmarks/* allowlist
+        # entry applies, exactly as CI invokes it.
+        monkeypatch.chdir(ROOT)
+        report = lint_paths(["benchmarks", "examples"], LintConfig())
+        assert report.findings == [], render_text(report)
+
+    def test_benchmarks_wall_clock_is_allowlisted_not_invisible(self, monkeypatch):
+        monkeypatch.chdir(ROOT)
+        report = lint_paths(["benchmarks"], LintConfig(allowlist=()))
+        assert {finding.rule for finding in report.findings} == {"DET003"}
+
+    def test_lint_is_deterministic(self):
+        paths = [FIXTURES, os.path.join(ROOT, "src")]
+        first = lint_paths(paths, BARE)
+        second = lint_paths(paths, BARE)
+        assert first.findings == second.findings
+        assert first.files == second.files
+        assert render_json(first) == render_json(second)

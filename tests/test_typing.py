@@ -1,0 +1,28 @@
+"""mypy gate over the determinism-critical packages (see mypy.ini).
+
+The committed config types ``repro.core``, ``repro.tracing``,
+``repro.chaos``, and ``repro.lint`` -- the packages a type confusion
+could silently desynchronize (seed arithmetic, column dtypes, fault
+schedules, the linter itself).  The baseline is clean; regressions fail
+here and in the dedicated CI step.  Skipped when mypy is not installed
+(the repo itself has no third-party dependencies beyond numpy; CI
+installs mypy for this gate).
+"""
+
+import os
+
+import pytest
+
+pytest.importorskip("mypy.api", reason="mypy not installed; CI runs this gate")
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_mypy_clean_over_determinism_critical_packages(monkeypatch):
+    from mypy import api
+
+    monkeypatch.chdir(ROOT)  # mypy.ini 'files' entries are root-relative
+    stdout, stderr, status = api.run(
+        ["--config-file", os.path.join(ROOT, "mypy.ini")]
+    )
+    assert status == 0, f"mypy reported errors:\n{stdout}\n{stderr}"
