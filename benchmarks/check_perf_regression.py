@@ -1,0 +1,112 @@
+"""CI perf-regression guard: aggregate-sweep rps vs the committed baseline.
+
+Fails (exit 1) when the freshly measured 11-config DRM1 AGGREGATE sweep
+drops more than ``--tolerance`` (default 25%) below the committed
+``results/BENCH_throughput_aggregate.json`` baseline, after normalizing
+for machine speed.
+
+Raw rps is not comparable across hosts, so the committed baseline is
+rescaled by the ratio of the *reference kernel's* event-loop ops/sec
+(``kernel_ops.reference.ops_per_s``, measured fresh here vs recorded in
+the baseline): a slow CI runner lowers both numbers together and the
+guard stays quiet, while a genuine fast-path regression lowers only the
+sweep and trips it.  Baselines recorded before the kernel_ops entry
+existed skip the normalization (ratio 1.0).
+
+The sweep is re-timed at the *baseline's* request count (not the smoke's
+``REPRO_REQUESTS``), because rps depends on how far fixed per-config
+costs amortize -- only matching counts are apples to apples.
+
+Usage (CI extracts the committed baseline first, because earlier smoke
+steps overwrite the working-tree artifact)::
+
+    git show HEAD:results/BENCH_throughput_aggregate.json > baseline.json
+    python benchmarks/check_perf_regression.py --baseline baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def measure_fresh(bench_requests: int) -> dict[str, float]:
+    """Time the aggregate DRM1 sweep + reference-kernel ops, warm."""
+    from test_perf_kernel import measure_kernel_ops
+
+    from repro.experiments import SuiteSettings, run_suite, suite_requests
+    from repro.models import drm1
+    from repro.serving import ServingConfig, TraceMode
+    from repro.sharding.pooling import estimate_pooling_factors
+
+    model = drm1()
+    settings = SuiteSettings(
+        num_requests=bench_requests,
+        serving=ServingConfig(seed=1),
+        trace_mode=TraceMode.AGGREGATE,
+    )
+    suite_requests(model, settings)
+    estimate_pooling_factors(
+        model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
+    )
+    best = float("inf")
+    for _ in range(2):  # best-of-2: scheduler-noise resilience
+        start = time.perf_counter()
+        results = run_suite(model, settings)
+        best = min(best, time.perf_counter() - start)
+    simulated = sum(len(result) for result in results.values())
+    return {
+        "serial_rps": simulated / best,
+        "reference_ops_per_s": measure_kernel_ops()["reference"]["ops_per_s"],
+    }
+
+
+def evaluate_guard(
+    baseline: dict, fresh: dict[str, float], tolerance: float
+) -> tuple[bool, str]:
+    """Pure comparison: (ok, human-readable verdict)."""
+    metrics = baseline["metrics"]
+    baseline_rps = metrics["aggregate_sweep"]["serial_rps"]
+    baseline_ops = (
+        metrics.get("kernel_ops", {}).get("reference", {}).get("ops_per_s")
+    )
+    if baseline_ops:
+        speed_ratio = fresh["reference_ops_per_s"] / baseline_ops
+    else:
+        speed_ratio = 1.0
+    expected = baseline_rps * speed_ratio
+    floor = expected * (1.0 - tolerance)
+    ok = fresh["serial_rps"] >= floor
+    verdict = (
+        f"aggregate sweep {fresh['serial_rps']:.0f} rps vs committed "
+        f"{baseline_rps:.0f} rps (machine-speed ratio {speed_ratio:.2f} -> "
+        f"expected {expected:.0f}, floor {floor:.0f} at "
+        f"{tolerance:.0%} tolerance): {'OK' if ok else 'REGRESSION'}"
+    )
+    return ok, verdict
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True,
+        help="path to the committed BENCH_throughput_aggregate.json",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop below the normalized baseline",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    bench_requests = int(baseline["metrics"]["bench_requests"])
+    fresh = measure_fresh(bench_requests)
+    ok, verdict = evaluate_guard(baseline, fresh, args.tolerance)
+    print(f"[perf-guard] {verdict}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,8 @@ simulated-requests-per-second into ``results/BENCH_throughput.json`` via
 artifact; comparing it across commits is the perf-regression trajectory
 for the experiment pipeline (the ``mix_sweep`` entry starts the
 mixed-workload branch of that trajectory, ``plan_sweep`` the
-capacity-planning branch, ``chaos_sweep`` the fault-injection branch).
+capacity-planning branch, ``chaos_sweep`` the fault-injection branch,
+and ``kernel_sweep``/``kernel_ops`` the batched-DES-kernel branch).
 
 ``REPRO_TRACE_MODE`` (``full``/``aggregate``, default ``full``) selects
 the trace mode of the *parallel* sweep and suffixes the artifact name
@@ -54,12 +55,20 @@ from repro.tracing.span import MAIN_SHARD, Layer, Span
 from repro.workloads import PiecewiseRateArrivals, Workload, WorkloadMix
 
 from conftest import BENCH_REQUESTS
+from test_perf_kernel import measure_kernel_ops
 
 #: Seed-commit reference: 11-config DRM1 sweep at REPRO_REQUESTS=500 ran at
 #: 85.5 simulated requests/second on the reference container (measured at
 #: the commit introducing this benchmark, before the fast path landed).
 SEED_SWEEP_RPS = 85.5
 SEED_SWEEP_REQUESTS = 500
+
+#: PR 2 reference: the 11-config DRM1 AGGREGATE sweep at REPRO_REQUESTS=150
+#: ran at 1329.4 simulated requests/second serial on the reference dev
+#: container (the committed ``aggregate_sweep.serial_rps`` at the PR 2
+#: commit) -- the anchor for the batched-kernel ``kernel_sweep`` rung.
+PR2_AGGREGATE_RPS = 1329.4
+PR2_AGGREGATE_REQUESTS = 150
 
 #: PR 1 reference: the same sweep with full tracing at REPRO_REQUESTS=2000
 #: ran at 575 simulated requests/second on the reference dev container
@@ -245,6 +254,33 @@ def test_perf_throughput():
     retention = [o.report.slo_retention for o in chaos_result.outcomes]
     assert all(a <= b for a, b in zip(retention, retention[1:]))
 
+    # 8. Batched DES kernel: the same 11-config DRM1 AGGREGATE sweep on
+    # kernel="batched" (deque-merged event loop, synchronous resource
+    # grants, fused At yields), serial and parallel, anchored on the
+    # committed PR 2 aggregate baseline.  The columns must be
+    # bit-identical to the reference kernel (spot-checked here;
+    # exhaustively pinned in tests/test_kernel_equivalence.py).  The raw
+    # event-loop ops/sec per kernel ride along as `kernel_ops` -- they
+    # double as the machine-speed proxy CI's perf-regression guard
+    # normalizes the committed baseline with.
+    batched_settings = SuiteSettings(
+        num_requests=BENCH_REQUESTS,
+        serving=ServingConfig(seed=1),
+        trace_mode=TraceMode.AGGREGATE,
+        kernel="batched",
+    )
+    batched_results, batched_s = _time(lambda: run_suite(model, batched_settings))
+    batched_rps = simulated / batched_s
+    for label, agg_result in aggregate_results.items():
+        assert np.array_equal(agg_result.e2e, batched_results[label].e2e)
+        assert np.array_equal(agg_result.cpu, batched_results[label].cpu)
+    batched_parallel_results, batched_parallel_s = _time(
+        lambda: run_suite_parallel(model, batched_settings, max_workers=workers)
+    )
+    batched_parallel_rps = simulated / batched_parallel_s
+    assert list(batched_parallel_results) == list(batched_results)
+    kernel_ops = measure_kernel_ops()
+
     span_bytes = _span_bytes_per_instance()
 
     suffix = "" if trace_mode is TraceMode.FULL else f"_{trace_mode.value}"
@@ -322,6 +358,36 @@ def test_perf_throughput():
                 "chosen": chosen.label if chosen else None,
                 "chosen_servers": chosen.total_servers if chosen else None,
             },
+            "kernel_sweep": {
+                # Batched DES kernel over the 11-config DRM1 AGGREGATE
+                # sweep, bit-identical to the reference kernel.  The
+                # PR 2 anchor is a *serial, reference-container* number:
+                # the per-kernel `kernel_ops` above is the machine-speed
+                # context for reading the ratios on other hosts, and the
+                # parallel rung is where multi-core hosts collect the
+                # shard-level (one process per simulated cluster) win.
+                "kernel": "batched",
+                "simulated_requests": simulated,
+                "serial_wall_s": batched_s,
+                "serial_rps": batched_rps,
+                "parallel_wall_s": batched_parallel_s,
+                "parallel_rps": batched_parallel_rps,
+                "parallel_workers": workers,
+                "speedup_vs_reference_kernel": batched_rps / aggregate_rps,
+                "pr2_reference_rps": PR2_AGGREGATE_RPS,
+                "pr2_reference_requests": PR2_AGGREGATE_REQUESTS,
+                "speedup_vs_pr2_serial": (
+                    batched_rps / PR2_AGGREGATE_RPS
+                    if BENCH_REQUESTS == PR2_AGGREGATE_REQUESTS
+                    else None
+                ),
+                "speedup_vs_pr2_parallel": (
+                    batched_parallel_rps / PR2_AGGREGATE_RPS
+                    if BENCH_REQUESTS == PR2_AGGREGATE_REQUESTS
+                    else None
+                ),
+            },
+            "kernel_ops": kernel_ops,
             "chaos_sweep": {
                 # Fault-injection availability sweep: healthy baseline +
                 # one host-crash replay per replica count (AGGREGATE).
@@ -344,8 +410,12 @@ def test_perf_throughput():
         f"plan {plan_s:.2f}s ({len(plan_result.candidates)} candidates -> "
         f"{chosen.label if chosen else 'infeasible'}), "
         f"chaos {chaos_rps:.0f} req/s ({len(chaos_replicas)} replica counts), "
+        f"batched kernel {batched_rps:.0f} req/s serial / "
+        f"{batched_parallel_rps:.0f} req/s parallel "
+        f"({batched_rps / aggregate_rps:.2f}x reference), "
         f"gen speedup {gen_speedup:.1f}x, span {span_bytes:.0f} B -> {path}"
     )
     assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0 and mix_rps > 0
     assert plan_rps > 0 and plan_result.candidates
     assert chaos_rps > 0
+    assert batched_rps > 0 and batched_parallel_rps > 0

@@ -11,8 +11,9 @@ directly: ``assessment.replicas_for(0.999)``.
 Determinism: the request stream is sampled once in the parent and shared
 by every replica count; each replay's RNG substreams are pure functions
 of (seed, configuration), and chaos draws use dedicated substreams -- so
-a parallel sweep (fork pool, one process per replica count) is
-byte-identical to the serial one, exactly like the suite runners in
+a parallel sweep (fork pool, one process per cluster replay: the healthy
+baseline and every replica count together) is byte-identical to the
+serial one, exactly like the suite runners in
 :mod:`repro.experiments.parallel`.
 """
 
@@ -30,7 +31,7 @@ from repro.chaos.availability import (
 )
 from repro.chaos.faults import FaultExperiment, FaultSchedule, HealingPolicy
 from repro.experiments.configs import ShardingConfiguration, build_plan
-from repro.experiments.parallel import _fan_out
+from repro.experiments.parallel import run_cluster_tasks
 from repro.experiments.runner import (
     RunResult,
     SuiteSettings,
@@ -130,28 +131,35 @@ def _as_mix(workload: Workload | WorkloadMix) -> WorkloadMix:
     return WorkloadMix((workload,))
 
 
-def _chaos_one(replicas: int) -> tuple[int, ChaosOutcome]:
-    """Worker body: one replica count's faulted replay (also in-process)."""
+def _replay_healthy(_item: None) -> RunResult:
+    """Worker body: the no-fault baseline replay (also in-process)."""
     from repro.experiments.parallel import _WORKER_CONTEXT
 
-    (mix, plans, stream, serving, experiments, failover_timeout, healing,
-     slo_latency, window) = _WORKER_CONTEXT
+    assert _WORKER_CONTEXT is not None
+    mix, plans, stream, serving = _WORKER_CONTEXT[:4]
+    return run_mix_configuration(mix, plans, stream, serving)
+
+
+def _replay_chaos(replicas: int) -> RunResult:
+    """Worker body: one replica count's faulted replay (also in-process).
+
+    Returns the raw :class:`RunResult`; the availability report is
+    computed in the parent, because the SLO it is measured against may
+    itself derive from the healthy baseline running in the same pool.
+    """
+    from repro.experiments.parallel import _WORKER_CONTEXT
+
+    assert _WORKER_CONTEXT is not None
+    mix, plans, stream, serving, experiments, failover_timeout, healing = (
+        _WORKER_CONTEXT
+    )
     schedule = FaultSchedule(
         experiments=experiments,
         replicas=replicas,
         failover_timeout=failover_timeout,
         healing=healing,
     )
-    result = run_mix_configuration(
-        mix, plans, stream, serving.with_chaos(schedule)
-    )
-    report = availability_report(result, stream.times, slo_latency, window)
-    return replicas, ChaosOutcome(
-        replicas=replicas,
-        report=report,
-        timeline=result.chaos_timeline,
-        result=result,
-    )
+    return run_mix_configuration(mix, plans, stream, serving.with_chaos(schedule))
 
 
 def availability_sweep(
@@ -175,8 +183,13 @@ def availability_sweep(
     healthy to fix the SLO -- ``slo_latency`` if given, otherwise the
     healthy p99 times ``slo_slack`` -- then once per replica count with a
     :class:`FaultSchedule` built from ``experiments``.  With
-    ``parallel=True`` the replica counts fan out over a fork pool,
-    byte-identically to the serial sweep.
+    ``parallel=True`` every cluster replay -- the healthy baseline *and*
+    the per-replica-count faulted replays -- fans out over one shared
+    fork pool (:func:`repro.experiments.parallel.run_cluster_tasks`),
+    byte-identically to the serial sweep: the workers return raw
+    :class:`RunResult` objects and the parent derives the SLO and the
+    availability reports afterwards, so result values never depend on
+    scheduling.
     """
     if not replica_counts:
         raise ValueError("replica_counts must name at least one count")
@@ -202,23 +215,35 @@ def availability_sweep(
         for wl in mix.workloads
     ]
 
-    healthy = run_mix_configuration(mix, plans, stream, serving)
+    counts = tuple(int(count) for count in replica_counts)
+    context = (
+        mix, plans, stream, serving, tuple(experiments), failover_timeout,
+        healing,
+    )
+    tasks = [(_replay_healthy, None)]
+    tasks += [(_replay_chaos, count) for count in counts]
+    replays = run_cluster_tasks(tasks, context, max_workers if parallel else 1)
+
+    healthy = replays[0]
     baseline_p99 = float(np.percentile(healthy.e2e, 99.0))
     if slo_latency is None:
         slo_latency = baseline_p99 * slo_slack
 
-    context = (
-        mix, plans, stream, serving, tuple(experiments), failover_timeout,
-        healing, float(slo_latency), float(window),
-    )
-    outcomes = _fan_out(
-        _chaos_one,
-        context,
-        tuple(int(count) for count in replica_counts),
-        max_workers if parallel else 1,
-    )
+    outcomes = []
+    for count, result in zip(counts, replays[1:]):
+        report = availability_report(
+            result, stream.times, float(slo_latency), float(window)
+        )
+        outcomes.append(
+            ChaosOutcome(
+                replicas=count,
+                report=report,
+                timeline=result.chaos_timeline,
+                result=result,
+            )
+        )
     return AvailabilityAssessment(
         slo_latency=float(slo_latency),
         baseline_p99=baseline_p99,
-        outcomes=tuple(outcomes.values()),
+        outcomes=tuple(outcomes),
     )

@@ -71,6 +71,7 @@ from repro.models.zoo import MODEL_FACTORIES, build
 from repro.planning import CandidateSpace, CapacityPlanner, SlaPolicy
 from repro.requests.generator import RequestGenerator
 from repro.serving.simulator import ClusterSimulation, ServingConfig
+from repro.simulation.engine import DEFAULT_KERNEL, KERNELS
 from repro.sharding.plan import SINGULAR
 from repro.sharding.pooling import estimate_pooling_factors
 from repro.sharding.serialization import dump_plan
@@ -106,6 +107,16 @@ def _add_trace_mode_argument(parser: argparse.ArgumentParser) -> None:
 
 def _trace_mode(args: argparse.Namespace) -> TraceMode:
     return TraceMode(args.trace_mode)
+
+
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", default=DEFAULT_KERNEL, choices=list(KERNELS),
+        help="DES event-loop kernel: 'reference' is the heap-only loop, "
+        "'batched' merges a same-timestamp deque with the heap and grants "
+        "free resources synchronously -- results are bit-identical "
+        "(tests/test_kernel_equivalence.py)",
+    )
 
 
 def _configuration(args: argparse.Namespace) -> ShardingConfiguration:
@@ -176,7 +187,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     requests = RequestGenerator(model, seed=args.seed).generate_many(args.requests)
     result = run_configuration(
         model, plan, requests,
-        ServingConfig(seed=args.seed, trace_mode=_trace_mode(args)),
+        ServingConfig(
+            seed=args.seed, trace_mode=_trace_mode(args), kernel=args.kernel
+        ),
     )
     rows = [
         (
@@ -202,6 +215,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         num_requests=args.requests,
         serving=ServingConfig(seed=args.seed),
         trace_mode=_trace_mode(args),
+        kernel=args.kernel,
     )
     if args.parallel or args.workers is not None:
         results = run_suite_parallel(model, settings, max_workers=args.workers)
@@ -278,6 +292,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         pooling_requests=args.pooling_requests,
         serving=ServingConfig(seed=args.seed),
         trace_mode=_trace_mode(args),
+        kernel=args.kernel,
     )
     stream = mix_stream(mix, settings)
     plans = [
@@ -366,6 +381,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
             pooling_requests=args.pooling_requests,
             serving=ServingConfig(seed=args.seed),
             trace_mode=_trace_mode(args),
+            kernel=args.kernel,
         ),
         slack=args.slack,
     )
@@ -461,6 +477,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             pooling_requests=args.pooling_requests,
             serving=ServingConfig(seed=args.seed),
             trace_mode=_trace_mode(args),
+            kernel=args.kernel,
         ),
         slo_latency=args.slo_ms / 1e3 if args.slo_ms else None,
         slo_slack=args.slack,
@@ -549,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_plan_arguments(simulate)
     simulate.add_argument("--requests", type=int, default=150)
     _add_trace_mode_argument(simulate)
+    _add_kernel_argument(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     suite = commands.add_parser("suite", help="run the paper's config matrix")
@@ -556,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--requests", type=int, default=120)
     suite.add_argument("--seed", type=int, default=1)
     _add_trace_mode_argument(suite)
+    _add_kernel_argument(suite)
     suite.add_argument(
         "--parallel", action="store_true",
         help="fan configurations out over worker processes "
@@ -624,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--pooling-requests", type=int, default=300)
     workload.add_argument("--seed", type=int, default=1)
     _add_trace_mode_argument(workload)
+    _add_kernel_argument(workload)
     workload.add_argument(
         "--cache-summary", action="store_true",
         help="also emit each workload's temporally-correlated "
@@ -660,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--pooling-requests", type=int, default=300)
     plan.add_argument("--seed", type=int, default=1)
     _add_trace_mode_argument(plan)
+    _add_kernel_argument(plan)
     plan.add_argument(
         "--target-ms", type=float, default=None,
         help="explicit SLA window in milliseconds; default derives it from "
@@ -766,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="availability-timeline bin width in seconds",
     )
     _add_trace_mode_argument(chaos)
+    _add_kernel_argument(chaos)
     chaos.add_argument(
         "--parallel", action="store_true",
         help="fan replica counts out over worker processes "

@@ -37,6 +37,19 @@ trace modes.  Three rules make that hold:
    (request ids ascending, simulation-event order, ...), never from
    under an iteration whose order can vary.
 
+   *Canonical event ordering.*  "Simulation-event order" is itself
+   pinned: every DES kernel dispatches events in ``(time, sequence)``
+   order, where ``sequence`` is the global scheduling counter (see the
+   module docstring of :mod:`repro.simulation.engine`).  Selectable
+   kernels (``ServingConfig.kernel``) may only reorder *within* a
+   timestamp in ways that provably cannot move a draw or a recorded
+   float: the batched kernel's synchronous resource grants run pure
+   computation earlier within the same instant, and its fused ``At``
+   yields reproduce the exact sequential float additions of the chained
+   yields they replace.  Anything beyond that must preserve the
+   reference order bit for bit -- regression-pinned across every paper
+   configuration in ``tests/test_kernel_equivalence.py``.
+
 3. **Optional features get their own substreams so that switching them
    off restores the exact base stream.**  The chaos layer
    (:mod:`repro.chaos`) is the sharpest case: fault times are explicit

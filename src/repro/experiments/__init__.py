@@ -41,6 +41,7 @@ from repro.experiments.configs import (
 )
 from repro.experiments.parallel import (
     default_workers,
+    run_cluster_tasks,
     run_mix_suite_parallel,
     run_suite_parallel,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "run_configuration",
     "run_mix_configuration",
     "run_mix_suite",
+    "run_cluster_tasks",
     "run_mix_suite_parallel",
     "run_suite",
     "run_suite_parallel",

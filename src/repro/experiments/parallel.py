@@ -15,6 +15,13 @@ Determinism: requests are generated once in the parent from
 seeds are a pure function of the configuration, never of scheduling.  A
 parallel sweep is therefore byte-identical to a serial one for the same
 settings (regression-tested in ``tests/test_fastpath_determinism.py``).
+
+:func:`run_cluster_tasks` generalizes the fan-out from "one process per
+sharding configuration" to "one process per simulated cluster": any mix
+of independent replays -- a planner's candidate simulations, an
+availability sweep's healthy baseline plus its per-replica-count faulted
+replays -- can share a single pool, so multi-stage searches saturate a
+big host instead of serializing between stages.
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ def _init_worker(context: tuple | None) -> None:
 
 def _run_one(configuration: ShardingConfiguration) -> tuple[str, RunResult]:
     """Worker body: build one plan and simulate it (also used in-process)."""
+    assert _WORKER_CONTEXT is not None
     model, pooling, requests, serving, schedule = _WORKER_CONTEXT
     plan = build_plan(model, configuration, pooling)
     result = run_configuration(model, plan, requests, serving, schedule)
@@ -74,6 +82,7 @@ def _run_one(configuration: ShardingConfiguration) -> tuple[str, RunResult]:
 
 def _run_one_mix(configuration: ShardingConfiguration) -> tuple[str, RunResult]:
     """Worker body for mix sweeps: shard every tenant, simulate co-located."""
+    assert _WORKER_CONTEXT is not None
     mix, poolings, stream, serving = _WORKER_CONTEXT
     plans = [
         build_plan(workload.model, configuration, pooling)
@@ -131,6 +140,60 @@ def run_mix_suite_parallel(
     return _fan_out(_run_one_mix, context, configurations, max_workers)
 
 
+def _run_task(task):
+    """Pool dispatcher for heterogeneous tasks: ``(fn, item) -> fn(item)``."""
+    fn, item = task
+    return fn(item)
+
+
+def run_cluster_tasks(
+    tasks,
+    context: tuple,
+    max_workers: int | None = None,
+) -> list:
+    """Fan heterogeneous cluster replays out over one shared worker pool.
+
+    ``tasks`` is a sequence of ``(fn, item)`` pairs; each ``fn`` must be
+    a module-level worker body (pickled by reference) that reads the
+    shared ``context`` from :data:`_WORKER_CONTEXT` and takes the small
+    per-task ``item`` as its only argument.  Results come back in task
+    order.  With one usable worker (or ``max_workers=1``) every task
+    runs in-process with the context installed, so a serial run is the
+    exact same code path minus the pool -- the byte-identity lever every
+    sweep in this repo leans on.
+
+    This is the shard-level parallelism primitive: one process per
+    *simulated cluster*, not just per sharding configuration.  A
+    capacity-planner search, an availability sweep's healthy baseline,
+    and its per-replica-count faulted replays are all independent
+    cluster simulations, so they can share one pool and saturate a big
+    host together instead of serializing between the stages (see
+    :func:`repro.chaos.experiment.availability_sweep`).
+    """
+    tasks = list(tasks)
+    workers = min(
+        max_workers if max_workers is not None else default_workers(),
+        len(tasks),
+    )
+    if workers <= 1:
+        _init_worker(context)
+        try:
+            return [fn(item) for fn, item in tasks]
+        finally:
+            _init_worker(None)
+    # fork is the cheap path (workers inherit the context for free)
+    # but is only reliably safe on Linux; macOS numpy backends can
+    # deadlock in forked children, so use the platform default there.
+    if sys.platform == "linux":
+        mp_context = multiprocessing.get_context("fork")
+    else:
+        mp_context = multiprocessing.get_context()
+    with mp_context.Pool(
+        processes=workers, initializer=_init_worker, initargs=(context,)
+    ) as pool:
+        return pool.map(_run_task, tasks, chunksize=1)
+
+
 def _fan_out(
     run_one,
     context: tuple,
@@ -138,27 +201,10 @@ def _fan_out(
     max_workers: int | None,
 ) -> dict[str, RunResult]:
     """Map configurations over a worker pool (or in-process for one worker)."""
-    workers = min(
-        max_workers if max_workers is not None else default_workers(),
-        len(configurations),
+    pairs = run_cluster_tasks(
+        [(run_one, configuration) for configuration in configurations],
+        context,
+        max_workers,
     )
-    if workers <= 1:
-        _init_worker(context)
-        try:
-            pairs = [run_one(configuration) for configuration in configurations]
-        finally:
-            _init_worker(None)
-    else:
-        # fork is the cheap path (workers inherit the context for free)
-        # but is only reliably safe on Linux; macOS numpy backends can
-        # deadlock in forked children, so use the platform default there.
-        if sys.platform == "linux":
-            mp_context = multiprocessing.get_context("fork")
-        else:
-            mp_context = multiprocessing.get_context()
-        with mp_context.Pool(
-            processes=workers, initializer=_init_worker, initargs=(context,)
-        ) as pool:
-            pairs = pool.map(run_one, configurations, chunksize=1)
     # dict() preserves configuration order: pool.map returns in input order.
     return dict(pairs)

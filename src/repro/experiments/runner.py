@@ -455,6 +455,13 @@ class SuiteSettings:
     trace_mode: TraceMode | None = None
     """Overrides ``serving.trace_mode`` when set; None keeps it."""
 
+    kernel: str | None = None
+    """Overrides ``serving.kernel`` when set (one of
+    :data:`repro.simulation.engine.KERNELS`); None keeps it.  Both
+    kernels replay bit-identical results (see
+    ``tests/test_kernel_equivalence.py``); ``"batched"`` trades the
+    reference event loop for the deque-merged one."""
+
     arrivals: ArrivalProcess | None = None
     """Overrides ``schedule`` with any workload-subsystem arrival process
     (diurnal, MMPP, constant-rate, ...) when set; None keeps the
@@ -469,10 +476,14 @@ class SuiteSettings:
         return self.num_requests or default_num_requests()
 
     def resolved_serving(self) -> ServingConfig:
-        """The serving config with the suite-level trace mode applied."""
-        if self.trace_mode is None or self.trace_mode is self.serving.trace_mode:
-            return self.serving
-        return self.serving.with_trace_mode(self.trace_mode)
+        """The serving config with the suite-level trace-mode and kernel
+        overrides applied."""
+        serving = self.serving
+        if self.trace_mode is not None and self.trace_mode is not serving.trace_mode:
+            serving = serving.with_trace_mode(self.trace_mode)
+        if self.kernel is not None and self.kernel != serving.kernel:
+            serving = serving.with_kernel(self.kernel)
+        return serving
 
     def resolved_schedule(self) -> ReplaySchedule:
         """The replay schedule, with ``arrivals`` applied when set."""

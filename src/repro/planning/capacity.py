@@ -221,7 +221,12 @@ class CapacityPlanner:
         """Run the closed loop: simulate, check SLA, size, choose.
 
         ``parallel`` fans the candidate simulations out over worker
-        processes (byte-identical results, hence an identical plan).
+        processes -- one process per simulated cluster, via the shared
+        :func:`repro.experiments.parallel.run_cluster_tasks` pool --
+        with byte-identical results, hence an identical plan.  Pair it
+        with ``settings.kernel = "batched"`` to also take the faster DES
+        kernel inside every worker (bit-identical by the kernel
+        equivalence contract).
         ``results_sink`` receives the candidate simulations keyed by
         configuration label, so callers can reuse the measurements (e.g.
         day-long elasticity sizing) without re-simulating.
@@ -326,7 +331,10 @@ class CapacityPlanner:
         planner's ``slack``.  ``configuration`` may be the
         :class:`MixPlan` / :class:`CandidatePlan` returned by
         :meth:`plan` (its label is mapped back onto the candidate
-        matrix) or an explicit sharding configuration.
+        matrix) or an explicit sharding configuration.  With
+        ``parallel=True`` the healthy baseline replay and every
+        replica-count replay run as one pooled batch of cluster
+        simulations.
         """
         from repro.chaos.experiment import availability_sweep
         from repro.experiments.configs import mix_configurations

@@ -57,7 +57,7 @@ from repro.requests.generator import Request, request_payload_bytes
 from repro.requests.replayer import ReplayMode, ReplaySchedule
 from repro.sharding.plan import ShardingPlan, ShardSpec
 from repro.simulation.costmodel import CostModel, ranking_response_bytes
-from repro.simulation.engine import Engine, Event
+from repro.simulation.engine import KERNELS, At, BatchedEngine, Engine, Event, make_engine
 from repro.simulation.network import Fabric, FabricSpec
 from repro.simulation.platform import SC_LARGE, Platform
 from repro.tracing.aggregate import AggregatingTracer, TraceMode
@@ -117,6 +117,15 @@ class ServingConfig:
     *empty* schedule exercises the chaos code path but injects nothing
     and replays byte-identical to ``None``."""
 
+    kernel: str = "reference"
+    """DES kernel selector (see :data:`repro.simulation.engine.KERNELS`).
+    ``"reference"`` is the bit-exact historical event loop; ``"batched"``
+    batches same-timestamp scheduling through a FIFO now-queue, grants
+    free resources synchronously, and (chaos off) drives the fused
+    serving generators -- results are regression-pinned bit-identical to
+    the reference kernel on every paper configuration
+    (``tests/test_kernel_equivalence.py``)."""
+
     def __post_init__(self):
         if self.service_workers < 1:
             raise ValueError(
@@ -135,6 +144,10 @@ class ServingConfig:
                 f"clock_skew_sigma must be non-negative, got "
                 f"{self.clock_skew_sigma!r}"
             )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
 
     def with_batch_size(self, batch_size: int | None) -> "ServingConfig":
         return dataclasses.replace(self, batch_size=batch_size)
@@ -144,6 +157,9 @@ class ServingConfig:
 
     def with_chaos(self, chaos: "FaultSchedule | None") -> "ServingConfig":
         return dataclasses.replace(self, chaos=chaos)
+
+    def with_kernel(self, kernel: str) -> "ServingConfig":
+        return dataclasses.replace(self, kernel=kernel)
 
 
 class SimServer:
@@ -361,7 +377,16 @@ class ClusterSimulation:
         #: The single hot-path recording entry point; both tracers share
         #: the ``record_interval`` signature (engine times + server).
         self._record = self.tracer.record_interval
-        self.engine = Engine()
+        self.engine = make_engine(self.config.kernel)
+        # The fused serving generators require the batched kernel (At
+        # yields are cheap there, grants are synchronous) and no chaos:
+        # ChaosRuntime.scale_service reads straggler state *at call time*,
+        # so fusing a service segment would move mid-segment straggler
+        # transitions -- chaos replays use the reference generators on
+        # whichever kernel is selected (identical events either way).
+        self._fast = (
+            self.config.chaos is None and isinstance(self.engine, BatchedEngine)
+        )
         self._rpc_ids = itertools.count()
         # Single-tenant keys are the historical (model, label) pair --
         # streams must stay byte-identical; co-located clusters key on the
@@ -683,6 +708,10 @@ class ClusterSimulation:
     def submit(self, request: Request, tenant: int = 0) -> Event:
         """Inject one request now (for ``tenant``); returns its completion
         event.  Request ids must be unique across all tenants of a run."""
+        if self._fast:
+            return self.engine.process(
+                self._serve_request_fast(self.tenants[tenant], request)
+            )
         return self.engine.process(
             self._serve_request(self.tenants[tenant], request)
         )
@@ -732,12 +761,73 @@ class ClusterSimulation:
         if self.on_complete is not None:
             self.on_complete(rid)
 
+    def _serve_request_fast(self, tenant: _Tenant, request: Request):
+        """Fused-yield variant of :meth:`_serve_request` (batched kernel,
+        chaos off).
+
+        The request-handling segments are single-unit windows -- no other
+        span of this request can be recorded while they run -- so the
+        deserialization+handler and serialization+handler pairs collapse
+        into one :class:`At` yield each.  Intermediate times are computed
+        with the exact sequential float additions the kernel would have
+        performed, and every record keeps its reference (start, end, cpu)
+        values and its per-request recording position, which is what the
+        bit-identity regression in ``tests/test_kernel_equivalence.py``
+        pins.  Fan-out reuses :meth:`_run_batch` (no fusable windows
+        there: every yield boundary carries a record) with the chaos-free
+        :meth:`_rpc_fast`.
+        """
+        engine, cm, main = self.engine, self.config.cost_model, self.main
+        record = self._record
+        rid = request.request_id
+        t_start = engine.now
+
+        yield main.workers.acquire()
+        t0 = engine.now
+        deser = cm.serde_time(
+            request_payload_bytes(tenant.model, request),
+            main.platform,
+            tables=len(request.draws),
+        )
+        t1 = t0 + deser
+        yield At(t1 + cm.request_handler_fixed)
+        record(rid, MAIN_SHARD, main, _SERDE, "request_deser", t0, t1, deser)
+        handler_cpu = cm.request_handler_fixed
+        main.workers.release()
+
+        batches = self._batches(tenant, request)
+        plans = self._request_plans(tenant, request, batches)
+        rpc = self._rpc_fast
+        batch_events = [
+            engine.process(self._run_batch(tenant, request, batch, plans, rpc))
+            for batch in batches
+        ]
+        yield engine.all_of(batch_events)
+
+        yield main.workers.acquire()
+        t0 = engine.now
+        ser = cm.serde_time(ranking_response_bytes(request.num_items), main.platform)
+        t1 = t0 + ser
+        yield At(t1 + cm.response_handler_fixed)
+        record(rid, MAIN_SHARD, main, _SERDE, "response_ser", t0, t1, ser)
+        handler_cpu += cm.response_handler_fixed
+        main.workers.release()
+
+        record(
+            rid, MAIN_SHARD, main, _SERVICE, "request_e2e",
+            t_start, engine.now, handler_cpu,
+        )
+        self.completed[rid] = engine.now - t_start
+        if self.on_complete is not None:
+            self.on_complete(rid)
+
     def _run_batch(
         self,
         tenant: _Tenant,
         request: Request,
         batch: _Batch,
         plans: dict[str, list[_NetBatchPlan]],
+        rpc: Callable | None = None,
     ):
         engine, cm, main = self.engine, self.config.cost_model, self.main
         record = self._record
@@ -770,7 +860,9 @@ class ClusterSimulation:
             if singular:
                 yield from self._local_sparse(request, bindex, net_name, plan.local_work)
             else:
-                yield from self._remote_sparse(request, bindex, net_name, plan.targets)
+                yield from self._remote_sparse(
+                    request, bindex, net_name, plan.targets, rpc
+                )
 
             t0 = engine.now
             post = plan.dense_total - pre
@@ -807,11 +899,13 @@ class ClusterSimulation:
         bindex: int,
         net_name: str,
         targets: list[_ShardLookups],
+        rpc: Callable | None = None,
     ):
         """Distributed: serialize + issue async RPCs, wait, deserialize."""
         engine, main = self.engine, self.main
         record = self._record
         rid = request.request_id
+        spawn = self._rpc if rpc is None else rpc
         t_embedded = engine.now
         responses = []
         for target in targets:
@@ -823,7 +917,7 @@ class ClusterSimulation:
                 t0, engine.now, ser_total, None, net_name, bindex,
             )
             responses.append(
-                engine.process(self._rpc(request, bindex, net_name, target))
+                engine.process(spawn(request, bindex, net_name, target))
             )
         if not responses:
             # Every candidate shard was inactive for this batch; the RPC ops
@@ -952,6 +1046,94 @@ class ClusterSimulation:
         )
         # Response tensors deserialize on the client's IO threads, off the
         # request workers, overlapping the waits for slower RPCs.
+        yield main.io_threads.acquire()
+        t0 = engine.now
+        deser = target.client_resp_deser
+        yield deser
+        record(
+            rid, MAIN_SHARD, main, _SERDE, "rpc_response_deser",
+            t0, engine.now, deser, None, net_name, bindex, rpc_id,
+        )
+        main.io_threads.release()
+
+    def _rpc_fast(
+        self,
+        request: Request,
+        bindex: int,
+        net_name: str,
+        target: _ShardLookups,
+    ):
+        """Chaos-free variant of :meth:`_rpc` (batched kernel).
+
+        Structurally identical to the healthy path of the reference RPC --
+        same egress reservation and fabric draw positions, same record
+        values at the same per-request recording positions -- with the
+        chaos branches dropped and the one record-free yield window
+        (``rpc_service_fixed`` + framework overhead) fused into a single
+        :class:`At` yield.
+        """
+        engine, cm = self.engine, self.config.cost_model
+        main = self.main
+        record = self._record
+        rid = request.request_id
+        shard_index = target.shard.index
+        server = self.sparse_servers[shard_index]
+        rpc_id = next(self._rpc_ids)
+        t_client = engine.now
+
+        out_delay = main.egress_delay(target.req_bytes) + self.fabric.one_way_delay(
+            main.platform, server.platform, 0.0
+        )
+        yield out_delay
+
+        t_service = engine.now
+        yield server.workers.acquire()
+        t0 = engine.now
+        deser = target.server_deser
+        yield deser
+        record(
+            rid, shard_index, server, _SERDE, "rpc_deser",
+            t0, engine.now, deser, None, net_name, bindex, rpc_id,
+        )
+        service_fixed = cm.rpc_service_fixed
+        t1 = engine.now + service_fixed
+        overhead = target.server_overhead
+        t2 = t1 + overhead
+        yield At(t2)
+        record(
+            rid, shard_index, server, _NET_OVERHEAD, "net_sched",
+            t1, t2, overhead, None, net_name, bindex, rpc_id,
+        )
+
+        t0 = engine.now
+        work = target.sls_work
+        yield work
+        record(
+            rid, shard_index, server, _OPERATOR, "sls_remote",
+            t0, engine.now, work, _SPARSE, net_name, bindex, rpc_id,
+        )
+
+        t0 = engine.now
+        ser = target.server_resp_ser
+        yield ser
+        record(
+            rid, shard_index, server, _SERDE, "rpc_resp_ser",
+            t0, engine.now, ser, None, net_name, bindex, rpc_id,
+        )
+        server.workers.release()
+        record(
+            rid, shard_index, server, _SERVICE, "rpc_e2e",
+            t_service, engine.now, service_fixed, None, net_name, bindex, rpc_id,
+        )
+
+        back_delay = server.egress_delay(target.resp_bytes) + self.fabric.one_way_delay(
+            server.platform, main.platform, 0.0
+        )
+        yield back_delay
+        record(
+            rid, MAIN_SHARD, main, _RPC_CLIENT, "rpc_outstanding",
+            t_client, engine.now, 0.0, None, net_name, bindex, rpc_id,
+        )
         yield main.io_threads.acquire()
         t0 = engine.now
         deser = target.client_resp_deser

@@ -1,14 +1,20 @@
 """Discrete-event simulation substrate: kernel, platforms, network, costs."""
 
 from repro.simulation.engine import (
+    DEFAULT_KERNEL,
+    KERNELS,
     AllOf,
     AnyOf,
+    At,
+    BatchedEngine,
     Engine,
     Event,
     Process,
     Resource,
     SimulationError,
+    SyncResource,
     Timeout,
+    make_engine,
 )
 from repro.simulation.network import Fabric, FabricSpec
 from repro.simulation.platform import PLATFORMS, SC_LARGE, SC_SMALL, Platform
@@ -16,10 +22,14 @@ from repro.simulation.platform import PLATFORMS, SC_LARGE, SC_SMALL, Platform
 __all__ = [
     "AllOf",
     "AnyOf",
+    "At",
+    "BatchedEngine",
+    "DEFAULT_KERNEL",
     "Engine",
     "Event",
     "Fabric",
     "FabricSpec",
+    "KERNELS",
     "PLATFORMS",
     "Platform",
     "Process",
@@ -27,5 +37,7 @@ __all__ = [
     "SC_LARGE",
     "SC_SMALL",
     "SimulationError",
+    "SyncResource",
     "Timeout",
+    "make_engine",
 ]

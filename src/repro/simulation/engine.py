@@ -23,7 +23,45 @@ directly -- no Event allocation, no callback registration, no trigger
 dispatch -- which roughly halves the per-hop cost of the simulator's hot
 loop.  The sequence number is taken at the same point either way, so a
 ``yield delay`` is scheduled identically to ``yield engine.timeout(delay)``
-and replacing one with the other cannot reorder a simulation.
+and replacing one with the other cannot reorder a simulation.  A process
+may also yield :class:`At` to resume at an *absolute* time: fused
+multi-segment waits compute intermediate times with the exact same float
+additions the kernel would have performed hop by hop, then sleep once.
+
+Kernel selection (:func:`make_engine`)
+======================================
+
+Two kernels share this event model:
+
+* ``"reference"`` -- :class:`Engine`: one heap entry per event, resource
+  grants always deferred through a delay-0 event.  This is the bit-exact
+  historical kernel every regression artifact was recorded under.
+* ``"batched"`` -- :class:`BatchedEngine`: delay-0 scheduling (process
+  kick-offs, ``succeed()``, resource hand-offs) lands in an O(1) FIFO
+  *now-queue* that is merged with the heap by ``(time, sequence)``, so
+  same-timestamp cascades -- the dominant event class in serving sweeps --
+  bypass heap churn entirely; and :class:`SyncResource` grants a free unit
+  *synchronously* (the continuation runs inline instead of after a delay-0
+  hop).
+
+Canonical event ordering
+========================
+
+Both kernels order events by ``(time, sequence)`` with one monotonic
+sequence counter, so *scheduling order at equal timestamps is execution
+order* -- this is the canonical ordering the determinism contract in
+:mod:`repro.core.rng` (rule 2) relies on: every RNG draw made from inside
+the simulation happens at a position fixed by that ordering.  The batched
+kernel preserves the canonical ordering exactly (the now-queue is FIFO and
+sequence numbers are assigned at the same points), with one documented
+exception: a synchronous resource grant runs the acquiring continuation
+*earlier within the same timestamp* than the reference kernel would.
+Code between an ``acquire()`` and its next positive-delay yield must
+therefore not touch cross-process shared state (fabric jitter draws,
+egress reservations) -- the serving layer obeys this, and the
+old-kernel == new-kernel regression tests in
+``tests/test_kernel_equivalence.py`` pin the result columns bit-identical
+on every paper configuration, in both trace modes, chaos included.
 """
 
 from __future__ import annotations
@@ -90,6 +128,24 @@ class Event:
             callback(self)
 
 
+class At:
+    """Absolute-time yield target: resume the process at exactly ``time``.
+
+    The fused fast paths compute a segment's end time with the same
+    sequential float additions the kernel performs for chained plain-delay
+    yields (``t1 = t0 + d1; t2 = t1 + d2; ...``) and then yield
+    ``At(t2)`` once.  Yielding the *summed delay* instead would not be
+    bit-identical (``t0 + (d1 + d2)`` associates differently), which is
+    why this marker exists.  Scheduling takes the same sequence slot a
+    plain-delay yield would, so fusing cannot reorder a simulation.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float):
+        self.time = time
+
+
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
@@ -111,11 +167,14 @@ class Process(Event):
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator):
         super().__init__(engine)
-        self._generator = generator
+        # Annotated Any, not Optional: both are nulled on completion to
+        # break the reference cycle, and the hot loop cannot afford
+        # per-hop None checks to satisfy a narrower type.
+        self._generator: Any = generator
         # The bound ``_step`` is created once and reused: the plain-delay
         # fast path schedules it on every hop, and allocating a fresh
         # bound-method object per hop is measurable in full sweeps.
-        self._step_ref = self._step
+        self._step_ref: Any = self._step
         # Kick off at the current time (not synchronously) so that process
         # creation order does not leak into execution order mid-callback.
         engine._schedule_call(0.0, self._step_ref)
@@ -146,6 +205,15 @@ class Process(Event):
             heappush(
                 engine._heap, (engine.now + target, engine._sequence, self._step_ref)
             )
+        elif cls is At:
+            at = target.time
+            engine = self.engine
+            if at < engine.now:
+                raise SimulationError(
+                    f"At({at}) is in the past (now={engine.now})"
+                )
+            engine._sequence += 1
+            heappush(engine._heap, (at, engine._sequence, self._step_ref))
         elif isinstance(target, Event):
             target.add_callback(self._resume)
         elif isinstance(target, numbers.Real) and not isinstance(target, bool):
@@ -218,7 +286,9 @@ class Resource:
         self.engine = engine
         self.capacity = capacity
         self._in_use = 0
-        self._queue: deque[Event] = deque()
+        # Events here; SyncResource.acquire_call also queues bare
+        # callables, so the element type is Any.
+        self._queue: deque[Any] = deque()
 
     @property
     def in_use(self) -> int:
@@ -295,7 +365,22 @@ class Engine:
 
     # -- execution -------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
-        """Process events until the heap drains (or ``until`` is reached).
+        """Process events until the queue drains or the clock reaches ``until``.
+
+        Boundary semantics (pinned by regression tests in
+        ``tests/test_engine.py``):
+
+        * The cutoff is **inclusive**: events scheduled at exactly
+          ``until`` are processed before returning, so ``run(until=t)``
+          followed by ``run()`` never drops, duplicates, or reorders
+          events at the boundary.
+        * On return with ``until``, ``now`` reads exactly ``until`` --
+          *also* when the queue drained earlier (nothing can occur in an
+          empty stretch, so the clock provably advanced).  Historically a
+          drained queue left ``now`` at the last event, inconsistent with
+          the early-stop branch.
+        * Without ``until``, ``now`` reads the time of the last processed
+          event.
 
         Returns the final simulation time.
         """
@@ -311,4 +396,187 @@ class Engine:
                 target._trigger()
             else:
                 target(None)
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
+
+
+class SyncResource(Resource):
+    """A :class:`Resource` whose free-unit grants are synchronous.
+
+    :meth:`acquire` on a free unit returns an already-triggered event, so
+    the acquiring process continues *inline* (zero scheduled events)
+    instead of after a delay-0 hop -- the single largest per-hop saving in
+    serving sweeps, where almost every acquire finds a free worker.
+    Contended acquires still queue FIFO, and :meth:`release` still hands
+    the unit to the next waiter through a deferred event, so wake-up order
+    is identical to the reference kernel.
+
+    Determinism: the inline continuation runs earlier *within the same
+    timestamp* than under the reference :class:`Resource` (see "Canonical
+    event ordering" in the module docstring).  Callers must not touch
+    cross-process shared state between the acquire and their next yield.
+
+    :meth:`acquire_call` is the allocation-free variant for callback-style
+    state machines: it either grants synchronously (returns ``True``) or
+    queues the callback for :meth:`release` to schedule.
+    """
+
+    __slots__ = ("_granted",)
+
+    def __init__(self, engine: "Engine", capacity: int):
+        super().__init__(engine, capacity)
+        # One reusable pre-triggered grant event: triggered events never
+        # mutate (callbacks on them fire immediately), so every
+        # uncontended acquire can hand out the same instance.
+        granted = Event(engine)
+        granted._triggered = True
+        granted._scheduled = True
+        granted._value = self
+        self._granted = granted
+
+    def acquire(self) -> Event:
+        """Grant synchronously when a unit is free; queue FIFO otherwise."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return self._granted
+        event = Event(self.engine)
+        self._queue.append(event)
+        return event
+
+    def acquire_call(self, fn: Callable[[Any], None]) -> bool:
+        """Callback-style acquire: ``True`` = granted now, caller holds a
+        unit and continues inline; ``False`` = ``fn`` queued FIFO and will
+        be scheduled (holding a unit) when a release hands one over."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        self._queue.append(fn)
+        return False
+
+    def release(self) -> None:
+        if self._in_use == 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._queue:
+            # Hand the unit to the next waiter; _in_use is unchanged.  The
+            # wake-up is deferred (delay-0) exactly like the reference
+            # kernel's, so hand-off order is preserved across kernels.
+            waiter = self._queue.popleft()
+            if waiter.__class__ is Event:
+                waiter.succeed(self)
+            else:
+                self.engine._schedule_call(0.0, waiter)
+        else:
+            self._in_use -= 1
+
+
+class BatchedEngine(Engine):
+    """Batched event loop: heap for timed events, FIFO queue for "now".
+
+    Every delay-0 schedule -- process kick-offs, ``Event.succeed()``,
+    resource hand-offs, ``AllOf``/``AnyOf`` completions -- appends to an
+    O(1) *now-queue* instead of churning the heap.  The run loop merges
+    the two by ``(time, sequence)``, which keeps the canonical event
+    ordering bit-identical to the reference kernel: now-queue entries are
+    naturally sorted (the sequence counter is monotonic and entries are
+    only created at the current time), so the merge is a single
+    comparison per dispatch, and a same-timestamp cascade drains as a
+    batch of queue pops with zero ``log n`` factors.
+
+    Resources created through :meth:`resource` are :class:`SyncResource`
+    (synchronous free-unit grants); see the module docstring for the
+    one documented ordering difference that introduces.
+    """
+
+    __slots__ = ("_now_queue",)
+
+    def __init__(self):
+        super().__init__()
+        self._now_queue: deque[tuple[float, int, Any]] = deque()
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._sequence += 1
+        if delay == 0.0:
+            self._now_queue.append((self.now, self._sequence, event))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def _schedule_call(self, delay: float, fn: Callable[[Any], None]) -> None:
+        self._sequence += 1
+        if delay == 0.0:
+            self._now_queue.append((self.now, self._sequence, fn))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._sequence, fn))
+
+    def schedule_call_at(self, at: float, fn: Callable[[Any], None]) -> None:
+        """Schedule ``fn`` at absolute time ``at`` (the callback-machine
+        analogue of yielding :class:`At`)."""
+        if at < self.now:
+            raise SimulationError(f"At({at}) is in the past (now={self.now})")
+        self._sequence += 1
+        if at == self.now:
+            self._now_queue.append((at, self._sequence, fn))
+        else:
+            heapq.heappush(self._heap, (at, self._sequence, fn))
+
+    def resource(self, capacity: int) -> Resource:
+        return SyncResource(self, capacity)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Same contract and boundary semantics as :meth:`Engine.run`."""
+        heap = self._heap
+        queue = self._now_queue
+        pop = heapq.heappop
+        popleft = queue.popleft
+        while True:
+            if queue:
+                # Merge by (time, sequence).  Queue entries sit at the
+                # current time, heap entries at >= now, so the heap only
+                # wins an exact-timestamp tie on an older sequence number
+                # (e.g. a Timeout landing precisely on ``now``).
+                if heap:
+                    head = heap[0]
+                    entry = queue[0]
+                    if head[0] < entry[0] or (
+                        head[0] == entry[0] and head[1] < entry[1]
+                    ):
+                        at, _, target = pop(heap)
+                    else:
+                        at, _, target = popleft()
+                else:
+                    at, _, target = popleft()
+            elif heap:
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    return until
+                at, _, target = pop(heap)
+            else:
+                break
+            self.now = at
+            if isinstance(target, Event):
+                target._trigger()
+            else:
+                target(None)
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+
+#: Selectable DES kernels (``ServingConfig.kernel`` / ``--kernel``).
+KERNELS = ("reference", "batched")
+
+#: The kernel every surface defaults to; committed artifacts are
+#: produced with it and the batched kernel is regression-pinned
+#: bit-identical against it.
+DEFAULT_KERNEL = "reference"
+
+
+def make_engine(kernel: str = DEFAULT_KERNEL) -> Engine:
+    """Construct the selected DES kernel (see ``KERNELS``)."""
+    if kernel == "reference":
+        return Engine()
+    if kernel == "batched":
+        return BatchedEngine()
+    raise ValueError(
+        f"unknown DES kernel {kernel!r}; expected one of {KERNELS}"
+    )

@@ -2,7 +2,20 @@
 
 import pytest
 
-from repro.simulation.engine import Engine, SimulationError
+from repro.simulation.engine import (
+    At,
+    BatchedEngine,
+    Engine,
+    SimulationError,
+    SyncResource,
+    make_engine,
+)
+
+
+@pytest.fixture(params=["reference", "batched"])
+def kernel_engine(request):
+    """Both selectable kernels; behavioral tests must pass on each."""
+    return make_engine(request.param)
 
 
 def test_timeout_advances_clock():
@@ -333,3 +346,247 @@ def test_plain_delay_orders_like_timeout():
     engine.process(via_timeout("c"))
     engine.run()
     assert order == ["a", "b", "c"]
+
+
+class TestRunUntilBoundary:
+    """Pinned ``run(until=...)`` boundary semantics (see the method doc)."""
+
+    def test_event_exactly_at_until_is_processed(self, kernel_engine):
+        engine = kernel_engine
+        seen = []
+
+        def proc():
+            yield 4.0
+            seen.append(engine.now)
+            yield 1.0
+            seen.append(engine.now)
+
+        engine.process(proc())
+        final = engine.run(until=4.0)
+        # inclusive cutoff: the t=4.0 resumption ran, the t=5.0 one did not
+        assert seen == [4.0]
+        assert final == 4.0
+        assert engine.run() == 5.0
+        assert seen == [4.0, 5.0]
+
+    def test_drained_queue_advances_clock_to_until(self, kernel_engine):
+        engine = kernel_engine
+
+        def proc():
+            yield 1.0
+
+        engine.process(proc())
+        # the queue drains at t=1.0; nothing can occur in (1.0, 7.5], so
+        # the clock reads exactly `until` -- consistent with the
+        # early-stop branch.
+        assert engine.run(until=7.5) == 7.5
+        assert engine.now == 7.5
+
+    def test_until_then_resume_never_drops_events(self, kernel_engine):
+        engine = kernel_engine
+        log = []
+
+        def worker(name, delay):
+            yield delay
+            log.append((engine.now, name))
+
+        engine.process(worker("a", 1.0))
+        engine.process(worker("b", 2.0))
+        engine.process(worker("c", 2.0))
+        engine.run(until=2.0)
+        assert log == [(1.0, "a"), (2.0, "b"), (2.0, "c")]
+        engine.run()
+        assert log == [(1.0, "a"), (2.0, "b"), (2.0, "c")]
+
+
+class TestAtMarker:
+    def test_at_resumes_at_absolute_time(self, kernel_engine):
+        engine = kernel_engine
+        seen = []
+
+        def proc():
+            yield At(2.5)
+            seen.append(engine.now)
+            yield At(engine.now)  # At(now) is legal: a zero-length hop
+            seen.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert seen == [2.5, 2.5]
+
+    def test_at_in_the_past_raises(self, kernel_engine):
+        engine = kernel_engine
+
+        def proc():
+            yield 3.0
+            yield At(1.0)
+
+        engine.process(proc())
+        with pytest.raises(SimulationError, match="in the past"):
+            engine.run()
+
+    def test_at_orders_like_plain_delay(self, kernel_engine):
+        """At(now + d) takes the same sequence slot as ``yield d``."""
+        engine = kernel_engine
+        order = []
+
+        def via_delay(tag):
+            yield 1.0
+            order.append(tag)
+
+        def via_at(tag):
+            yield At(1.0)
+            order.append(tag)
+
+        engine.process(via_delay("a"))
+        engine.process(via_at("b"))
+        engine.process(via_delay("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestResourceBothKernels:
+    """Fairness and edge cases, pinned identically on both kernels."""
+
+    def test_fifo_handoff_under_contention(self, kernel_engine):
+        engine = kernel_engine
+        resource = engine.resource(1)
+        order = []
+
+        def worker(name, arrival):
+            yield arrival
+            yield resource.acquire()
+            order.append((engine.now, name))
+            yield 1.0
+            resource.release()
+
+        # all three contend; arrival order is the service order
+        for name, arrival in (("a", 0.0), ("b", 0.1), ("c", 0.2)):
+            engine.process(worker(name, arrival))
+        engine.run()
+        assert order == [(0.0, "a"), (1.0, "b"), (2.0, "c")]
+
+    def test_release_without_waiters_frees_capacity(self, kernel_engine):
+        engine = kernel_engine
+        resource = engine.resource(1)
+        log = []
+
+        def proc():
+            yield resource.acquire()
+            yield 1.0
+            resource.release()
+            log.append(resource.in_use)
+            # the freed unit is immediately acquirable again
+            yield resource.acquire()
+            log.append(resource.in_use)
+            resource.release()
+
+        engine.process(proc())
+        engine.run()
+        assert log == [0, 1]
+        assert resource.in_use == 0
+        assert resource.queued == 0
+
+    def test_release_without_acquire_rejected(self, kernel_engine):
+        resource = kernel_engine.resource(1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_interleaved_acquire_release_at_identical_timestamps(
+        self, kernel_engine
+    ):
+        """A release and a fresh acquire in the same instant: the queued
+        waiter (FIFO) wins over the newcomer, on both kernels."""
+        engine = kernel_engine
+        resource = engine.resource(1)
+        order = []
+
+        def holder():
+            yield resource.acquire()
+            yield 1.0
+            resource.release()  # at t=1.0, exactly when others act
+
+        def queued_waiter():
+            yield 0.5  # queues behind the holder at t=0.5
+            yield resource.acquire()
+            order.append(("queued", engine.now))
+            resource.release()
+
+        def newcomer():
+            yield 1.0  # tries to acquire in the same instant as the release
+            yield resource.acquire()
+            order.append(("newcomer", engine.now))
+            resource.release()
+
+        engine.process(holder())
+        engine.process(queued_waiter())
+        engine.process(newcomer())
+        engine.run()
+        assert [name for name, _ in order] == ["queued", "newcomer"]
+        assert all(at == 1.0 for _, at in order)
+
+    def test_zero_duration_hold_cycles_cleanly(self, kernel_engine):
+        engine = kernel_engine
+        resource = engine.resource(2)
+        completions = []
+
+        def churn(tag):
+            yield resource.acquire()
+            resource.release()  # release in the same instant
+            yield resource.acquire()
+            completions.append(tag)
+            resource.release()
+
+        for tag in range(4):
+            engine.process(churn(tag))
+        engine.run()
+        assert completions == [0, 1, 2, 3]
+        assert resource.in_use == 0 and resource.queued == 0
+
+
+class TestSyncResource:
+    def test_uncontended_acquire_is_synchronous(self):
+        engine = BatchedEngine()
+        resource = engine.resource(1)
+        assert isinstance(resource, SyncResource)
+        event = resource.acquire()
+        # granted inline: already triggered, no scheduled hop required
+        assert event.triggered
+        assert resource.in_use == 1
+        resource.release()
+        assert resource.in_use == 0
+
+    def test_contended_acquire_still_queues(self):
+        engine = BatchedEngine()
+        resource = engine.resource(1)
+        first = resource.acquire()
+        second = resource.acquire()
+        assert first.triggered
+        assert not second.triggered
+        assert resource.queued == 1
+        resource.release()
+        engine.run()
+        assert second.triggered
+        assert resource.in_use == 1  # handed over, still held
+
+    def test_acquire_call_grant_and_queue(self):
+        engine = BatchedEngine()
+        resource = engine.resource(1)
+        woken = []
+        assert resource.acquire_call(woken.append) is True  # inline grant
+        assert resource.acquire_call(woken.append) is False  # queued
+        assert woken == []
+        resource.release()
+        engine.run()
+        assert woken == [None]  # scheduled with the unit handed over
+        assert resource.in_use == 1
+
+    def test_reference_engine_keeps_deferred_grants(self):
+        """The reference kernel's Resource must stay deferred: its grant
+        event is fresh and untriggered until the event loop runs."""
+        engine = Engine()
+        resource = engine.resource(1)
+        event = resource.acquire()
+        assert not event.triggered
+        engine.run()
+        assert event.triggered
