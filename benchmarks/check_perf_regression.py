@@ -1,9 +1,14 @@
-"""CI perf-regression guard: aggregate-sweep rps vs the committed baseline.
+"""CI perf-regression guard: per-kernel sweep rps vs the committed baseline.
 
-Fails (exit 1) when the freshly measured 11-config DRM1 AGGREGATE sweep
-drops more than ``--tolerance`` (default 25%) below the committed
+Fails (exit 1) when any freshly measured 11-config DRM1 sweep drops more
+than ``--tolerance`` (default 25%) below the committed
 ``results/BENCH_throughput_aggregate.json`` baseline, after normalizing
-for machine speed.
+for machine speed.  One guard entry exists per (kernel, trace-mode)
+benchmark present in the baseline -- reference/FULL (``sweep``),
+reference/AGGREGATE (``aggregate_sweep``), batched/AGGREGATE
+(``kernel_sweep``), and vectorized/AGGREGATE (``vectorized_sweep``) --
+so a regression on one path cannot hide behind another path's number.
+Entries missing from an older baseline are skipped.
 
 Raw rps is not comparable across hosts, so the committed baseline is
 rescaled by the ratio of the *reference kernel's* event-loop ops/sec
@@ -13,9 +18,12 @@ guard stays quiet, while a genuine fast-path regression lowers only the
 sweep and trips it.  Baselines recorded before the kernel_ops entry
 existed skip the normalization (ratio 1.0).
 
-The sweep is re-timed at the *baseline's* request count (not the smoke's
-``REPRO_REQUESTS``), because rps depends on how far fixed per-config
-costs amortize -- only matching counts are apples to apples.
+Each sweep is re-timed at the *baseline's* request count (not the
+smoke's ``REPRO_REQUESTS``), because rps depends on how far fixed
+per-config costs amortize -- only matching counts are apples to apples.
+The ``vectorized_sweep`` guard times the sweep phase the way the
+benchmark does (requests, pooling, and plans precomputed; warm builder
+caches) and compares against the baseline's ``sweep_rps``.
 
 Usage (CI extracts the committed baseline first, because earlier smoke
 steps overwrite the working-tree artifact)::
@@ -31,61 +39,134 @@ import json
 import sys
 import time
 
+#: (baseline metrics key, rps field inside it) -> how to measure fresh.
+#: Order matters only for output readability.
+GUARD_ENTRIES = (
+    ("sweep", "serial_rps"),
+    ("aggregate_sweep", "serial_rps"),
+    ("kernel_sweep", "serial_rps"),
+    ("vectorized_sweep", "sweep_rps"),
+)
 
-def measure_fresh(bench_requests: int) -> dict[str, float]:
-    """Time the aggregate DRM1 sweep + reference-kernel ops, warm."""
+
+def _best_of(fn, repeats: int = 2) -> float:
+    """Best-of-N wall time: resilient to scheduler noise on shared CI."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_fresh(
+    bench_requests: int, entries: list[str]
+) -> dict[str, float]:
+    """Time each guarded DRM1 sweep fresh (warm), plus reference ops."""
     from test_perf_kernel import measure_kernel_ops
 
-    from repro.experiments import SuiteSettings, run_suite, suite_requests
+    from repro.experiments import (
+        SuiteSettings,
+        build_plan,
+        paper_configurations,
+        run_configuration,
+        run_suite,
+        suite_requests,
+    )
     from repro.models import drm1
     from repro.serving import ServingConfig, TraceMode
     from repro.sharding.pooling import estimate_pooling_factors
 
     model = drm1()
-    settings = SuiteSettings(
-        num_requests=bench_requests,
-        serving=ServingConfig(seed=1),
-        trace_mode=TraceMode.AGGREGATE,
+
+    def settings(kernel=None, trace_mode=TraceMode.AGGREGATE):
+        return SuiteSettings(
+            num_requests=bench_requests,
+            serving=ServingConfig(seed=1),
+            trace_mode=trace_mode,
+            kernel=kernel,
+        )
+
+    # Warm the shared one-time caches so every timing below is warm.
+    suite_requests(model, settings())
+    pooling = estimate_pooling_factors(
+        model, num_requests=settings().pooling_requests,
+        seed=settings().pooling_seed,
     )
-    suite_requests(model, settings)
-    estimate_pooling_factors(
-        model, num_requests=settings.pooling_requests, seed=settings.pooling_seed
+    simulated = None
+    fresh: dict[str, float] = {}
+
+    def suite_rps(suite_settings) -> float:
+        nonlocal simulated
+        results = run_suite(model, suite_settings)
+        simulated = sum(len(result) for result in results.values())
+        return simulated / _best_of(lambda: run_suite(model, suite_settings))
+
+    if "sweep" in entries:
+        fresh["sweep"] = suite_rps(settings(trace_mode=TraceMode.FULL))
+    if "aggregate_sweep" in entries:
+        fresh["aggregate_sweep"] = suite_rps(settings())
+    if "kernel_sweep" in entries:
+        fresh["kernel_sweep"] = suite_rps(settings(kernel="batched"))
+    if "vectorized_sweep" in entries:
+        # Sweep-phase protocol, matching the benchmark: requests,
+        # pooling, and plans precomputed; first pass warms the columnar
+        # builder caches.
+        vec_settings = settings(kernel="vectorized")
+        requests = suite_requests(model, vec_settings)
+        plans = [
+            build_plan(model, configuration, pooling)
+            for configuration in paper_configurations(model.name)
+        ]
+        serving = vec_settings.resolved_serving()
+        schedule = vec_settings.resolved_schedule()
+
+        def sweep_once():
+            for plan in plans:
+                run_configuration(model, plan, requests, serving, schedule)
+
+        sweep_once()  # warm
+        fresh["vectorized_sweep"] = (
+            len(requests) * len(plans) / _best_of(sweep_once)
+        )
+    fresh["reference_ops_per_s"] = (
+        measure_kernel_ops()["reference"]["ops_per_s"]
     )
-    best = float("inf")
-    for _ in range(2):  # best-of-2: scheduler-noise resilience
-        start = time.perf_counter()
-        results = run_suite(model, settings)
-        best = min(best, time.perf_counter() - start)
-    simulated = sum(len(result) for result in results.values())
-    return {
-        "serial_rps": simulated / best,
-        "reference_ops_per_s": measure_kernel_ops()["reference"]["ops_per_s"],
-    }
+    return fresh
 
 
 def evaluate_guard(
     baseline: dict, fresh: dict[str, float], tolerance: float
-) -> tuple[bool, str]:
-    """Pure comparison: (ok, human-readable verdict)."""
+) -> tuple[bool, list[str]]:
+    """Pure comparison: (all ok, per-entry human-readable verdicts)."""
     metrics = baseline["metrics"]
-    baseline_rps = metrics["aggregate_sweep"]["serial_rps"]
     baseline_ops = (
         metrics.get("kernel_ops", {}).get("reference", {}).get("ops_per_s")
     )
-    if baseline_ops:
+    if baseline_ops and fresh.get("reference_ops_per_s"):
         speed_ratio = fresh["reference_ops_per_s"] / baseline_ops
     else:
         speed_ratio = 1.0
-    expected = baseline_rps * speed_ratio
-    floor = expected * (1.0 - tolerance)
-    ok = fresh["serial_rps"] >= floor
-    verdict = (
-        f"aggregate sweep {fresh['serial_rps']:.0f} rps vs committed "
-        f"{baseline_rps:.0f} rps (machine-speed ratio {speed_ratio:.2f} -> "
-        f"expected {expected:.0f}, floor {floor:.0f} at "
-        f"{tolerance:.0%} tolerance): {'OK' if ok else 'REGRESSION'}"
-    )
-    return ok, verdict
+    all_ok = True
+    verdicts = []
+    for entry, field in GUARD_ENTRIES:
+        if entry not in metrics or entry not in fresh:
+            continue
+        baseline_rps = metrics[entry][field]
+        expected = baseline_rps * speed_ratio
+        floor = expected * (1.0 - tolerance)
+        ok = fresh[entry] >= floor
+        all_ok = all_ok and ok
+        verdicts.append(
+            f"{entry} {fresh[entry]:.0f} rps vs committed "
+            f"{baseline_rps:.0f} rps (machine-speed ratio {speed_ratio:.2f} "
+            f"-> expected {expected:.0f}, floor {floor:.0f} at "
+            f"{tolerance:.0%} tolerance): {'OK' if ok else 'REGRESSION'}"
+        )
+    if not verdicts:
+        all_ok = False
+        verdicts.append("no guarded entries found in the baseline")
+    return all_ok, verdicts
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -102,9 +183,14 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline) as handle:
         baseline = json.load(handle)
     bench_requests = int(baseline["metrics"]["bench_requests"])
-    fresh = measure_fresh(bench_requests)
-    ok, verdict = evaluate_guard(baseline, fresh, args.tolerance)
-    print(f"[perf-guard] {verdict}")
+    present = [
+        entry for entry, _ in GUARD_ENTRIES
+        if entry in baseline["metrics"]
+    ]
+    fresh = measure_fresh(bench_requests, present)
+    ok, verdicts = evaluate_guard(baseline, fresh, args.tolerance)
+    for verdict in verdicts:
+        print(f"[perf-guard] {verdict}")
     return 0 if ok else 1
 
 

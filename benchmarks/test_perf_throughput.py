@@ -10,7 +10,10 @@ artifact; comparing it across commits is the perf-regression trajectory
 for the experiment pipeline (the ``mix_sweep`` entry starts the
 mixed-workload branch of that trajectory, ``plan_sweep`` the
 capacity-planning branch, ``chaos_sweep`` the fault-injection branch,
-and ``kernel_sweep``/``kernel_ops`` the batched-DES-kernel branch).
+``kernel_sweep``/``kernel_ops`` the batched-DES-kernel branch, and
+``vectorized_sweep`` the columnar-replay branch -- its headline ratio
+times the sweep phase both kernels share, with requests, pooling, and
+plans precomputed).
 
 ``REPRO_TRACE_MODE`` (``full``/``aggregate``, default ``full``) selects
 the trace mode of the *parallel* sweep and suffixes the artifact name
@@ -40,11 +43,15 @@ from repro.chaos import HostCrash, availability_sweep
 from repro.experiments import (
     ShardingConfiguration,
     SuiteSettings,
+    build_plan,
+    paper_configurations,
+    run_configuration,
     run_mix_suite,
     run_suite,
     run_suite_parallel,
     suite_requests,
 )
+from repro.experiments.runner import default_chunk_size
 from repro.experiments.parallel import default_workers
 from repro.planning import CandidateSpace, CapacityPlanner
 from repro.sharding.pooling import estimate_pooling_factors
@@ -281,6 +288,74 @@ def test_perf_throughput():
     assert list(batched_parallel_results) == list(batched_results)
     kernel_ops = measure_kernel_ops()
 
+    # 9. Vectorized columnar replay: the same 11-config DRM1 AGGREGATE
+    # sweep on kernel="vectorized" (no event loop -- per-request costs
+    # transposed into per-chunk numpy columns and replayed as array
+    # programs), bit-identical to the batched kernel (spot-checked here;
+    # exhaustively pinned in tests/test_kernel_equivalence.py).  The
+    # headline ratio times the *sweep phase* both kernels share: the
+    # paper's replayer preprocesses and caches requests before sending
+    # (run_suite docstring), so requests, pooling, and plans are
+    # precomputed once and each kernel then replays the full
+    # configuration matrix -- interleaved best-of-2, so scheduler noise
+    # hits both kernels alike.  The first vectorized pass also warms the
+    # columnar builder caches; the committed number is the warm replay,
+    # matching every other warm-measured entry.
+    vectorized_settings = SuiteSettings(
+        num_requests=BENCH_REQUESTS,
+        serving=ServingConfig(seed=1),
+        trace_mode=TraceMode.AGGREGATE,
+        kernel="vectorized",
+    )
+    vectorized_results, vectorized_suite_s = _time(
+        lambda: run_suite(model, vectorized_settings)
+    )
+    vectorized_rps = simulated / vectorized_suite_s
+    for label, result in vectorized_results.items():
+        assert result.kernel_used == "vectorized", (label, result.kernel_fallback)
+        assert result.kernel_fallback is None
+        assert np.array_equal(batched_results[label].e2e, result.e2e)
+        assert np.array_equal(batched_results[label].cpu, result.cpu)
+    vectorized_parallel_results, vectorized_parallel_s = _time(
+        lambda: run_suite_parallel(model, vectorized_settings, max_workers=workers)
+    )
+    vectorized_parallel_rps = simulated / vectorized_parallel_s
+    assert list(vectorized_parallel_results) == list(vectorized_results)
+
+    sweep_requests = suite_requests(model, vectorized_settings)
+    sweep_pooling = estimate_pooling_factors(
+        model, num_requests=vectorized_settings.pooling_requests,
+        seed=vectorized_settings.pooling_seed,
+    )
+    sweep_plans = [
+        build_plan(model, configuration, sweep_pooling)
+        for configuration in paper_configurations(model.name)
+    ]
+    sweep_schedule = vectorized_settings.resolved_schedule()
+
+    def kernel_sweep_once(serving):
+        for sweep_plan in sweep_plans:
+            run_configuration(
+                model, sweep_plan, sweep_requests, serving, sweep_schedule
+            )
+
+    batched_serving = batched_settings.resolved_serving()
+    vectorized_serving = vectorized_settings.resolved_serving()
+    kernel_sweep_once(vectorized_serving)  # warm the builder caches
+    batched_sweep_s = vectorized_sweep_s = float("inf")
+    for _ in range(2):
+        _, elapsed = _time(lambda: kernel_sweep_once(batched_serving))
+        batched_sweep_s = min(batched_sweep_s, elapsed)
+        _, elapsed = _time(lambda: kernel_sweep_once(vectorized_serving))
+        vectorized_sweep_s = min(vectorized_sweep_s, elapsed)
+    vectorized_sweep_rps = simulated / vectorized_sweep_s
+    batched_sweep_rps = simulated / batched_sweep_s
+    vectorized_speedup = batched_sweep_s / vectorized_sweep_s
+    # Advisory on shared CI runners, enforced where the host is
+    # known-quiet (the committed artifact is the acceptance signal).
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert vectorized_speedup > 3.0
+
     span_bytes = _span_bytes_per_instance()
 
     suffix = "" if trace_mode is TraceMode.FULL else f"_{trace_mode.value}"
@@ -388,6 +463,29 @@ def test_perf_throughput():
                 ),
             },
             "kernel_ops": kernel_ops,
+            "vectorized_sweep": {
+                # Columnar replay over the 11-config DRM1 AGGREGATE
+                # sweep, bit-identical to the batched kernel.  The
+                # headline `speedup_vs_batched_kernel` compares the
+                # sweep phase both kernels share (requests, pooling,
+                # and plans precomputed; warm builder caches); the
+                # suite-level serial/parallel rps include request
+                # generation and are comparable to `kernel_sweep`.
+                "kernel": "vectorized",
+                "simulated_requests": simulated,
+                "chunk_size": default_chunk_size(),
+                "serial_wall_s": vectorized_suite_s,
+                "serial_rps": vectorized_rps,
+                "parallel_wall_s": vectorized_parallel_s,
+                "parallel_rps": vectorized_parallel_rps,
+                "parallel_workers": workers,
+                "sweep_wall_s": vectorized_sweep_s,
+                "sweep_rps": vectorized_sweep_rps,
+                "batched_sweep_wall_s": batched_sweep_s,
+                "batched_sweep_rps": batched_sweep_rps,
+                "speedup_vs_batched_kernel": vectorized_speedup,
+                "speedup_vs_batched_suite": vectorized_rps / batched_rps,
+            },
             "chaos_sweep": {
                 # Fault-injection availability sweep: healthy baseline +
                 # one host-crash replay per replica count (AGGREGATE).
@@ -413,9 +511,12 @@ def test_perf_throughput():
         f"batched kernel {batched_rps:.0f} req/s serial / "
         f"{batched_parallel_rps:.0f} req/s parallel "
         f"({batched_rps / aggregate_rps:.2f}x reference), "
+        f"vectorized kernel {vectorized_sweep_rps:.0f} req/s sweep-phase "
+        f"({vectorized_speedup:.2f}x batched), "
         f"gen speedup {gen_speedup:.1f}x, span {span_bytes:.0f} B -> {path}"
     )
     assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0 and mix_rps > 0
     assert plan_rps > 0 and plan_result.candidates
     assert chaos_rps > 0
     assert batched_rps > 0 and batched_parallel_rps > 0
+    assert vectorized_rps > 0 and vectorized_sweep_rps > 0

@@ -114,8 +114,10 @@ def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
         "--kernel", default=DEFAULT_KERNEL, choices=list(KERNELS),
         help="DES event-loop kernel: 'reference' is the heap-only loop, "
         "'batched' merges a same-timestamp deque with the heap and grants "
-        "free resources synchronously -- results are bit-identical "
-        "(tests/test_kernel_equivalence.py)",
+        "free resources synchronously, 'vectorized' replays eligible runs "
+        "(serial closed-loop, chaos-free, aggregate tracing) as columnar "
+        "numpy programs and falls back to 'batched' otherwise -- results "
+        "are bit-identical (tests/test_kernel_equivalence.py)",
     )
 
 
@@ -217,10 +219,30 @@ def cmd_suite(args: argparse.Namespace) -> int:
         trace_mode=_trace_mode(args),
         kernel=args.kernel,
     )
-    if args.parallel or args.workers is not None:
-        results = run_suite_parallel(model, settings, max_workers=args.workers)
+
+    def sweep():
+        if args.parallel or args.workers is not None:
+            return run_suite_parallel(model, settings, max_workers=args.workers)
+        return run_suite(model, settings)
+
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+        import time
+
+        profiler = cProfile.Profile()
+        start = time.perf_counter()  # detlint: disable=DET003 -- profiling host wall time, not simulated time
+        profiler.enable()
+        try:
+            results = sweep()
+        finally:
+            profiler.disable()
+        elapsed = time.perf_counter() - start  # detlint: disable=DET003 -- profiling host wall time, not simulated time
+        print(f"[profile] sweep wall time {elapsed:.2f}s", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
     else:
-        results = run_suite(model, settings)
+        results = sweep()
     base = results[SINGULAR]
     rows = []
     for label, result in results.items():
@@ -584,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker-process cap; implies --parallel (default: CPU count "
         "or REPRO_SWEEP_WORKERS)",
+    )
+    suite.add_argument(
+        "--profile", action="store_true",
+        help="profile the sweep with cProfile and print the top 25 "
+        "functions by cumulative time to stderr (results are unchanged; "
+        "profiling only observes the host process)",
     )
     suite.set_defaults(func=cmd_suite)
 

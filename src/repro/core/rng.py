@@ -50,6 +50,23 @@ trace modes.  Three rules make that hold:
    reference order bit for bit -- regression-pinned across every paper
    configuration in ``tests/test_kernel_equivalence.py``.
 
+   *Vectorized equivalence.*  The ``vectorized`` kernel is the extreme
+   case: it replays eligible runs (serial closed-loop, chaos-free,
+   AGGREGATE tracing) with no event loop at all, so the canonical order
+   has to be *reconstructed* rather than followed.  That is legal under
+   this rule because in the eligible regime every draw position is a
+   pure function of the precomputed plans: requests replay one at a
+   time in id order, shard RPCs complete in a global time order the
+   evaluator reproduces with an explicit heap, fabric jitter is drawn
+   from its substream in bulk (a ``normal(size=N)`` draw consumes the
+   bit stream exactly like ``N`` scalar draws) and dealt out in that
+   same completion order, and every accumulator is reduced with the
+   same left-associated sequential adds the chained yields perform --
+   cumulative per-shard adds, never ``np.sum``, whose pairwise-tree
+   reduction reassociates floats.  Same bits, same order, no loop;
+   pinned alongside the batched kernel in
+   ``tests/test_kernel_equivalence.py``.
+
 3. **Optional features get their own substreams so that switching them
    off restores the exact base stream.**  The chaos layer
    (:mod:`repro.chaos`) is the sharpest case: fault times are explicit

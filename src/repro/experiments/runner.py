@@ -41,6 +41,30 @@ from repro.experiments.configs import (
 REQUESTS_ENV = "REPRO_REQUESTS"
 DEFAULT_REQUESTS = 200
 
+#: Environment knob: vectorized-kernel chunk size (requests per columnar
+#: batch).  The fast path materializes per-request cost arrays one chunk
+#: at a time, so peak memory is O(chunk), not O(sweep) -- the default
+#: keeps million-request sweeps flat while amortizing numpy dispatch.
+CHUNK_ENV = "REPRO_CHUNK"
+DEFAULT_CHUNK = 2048
+
+
+def _env_positive_int(env: str, default: int) -> int:
+    raw = os.environ.get(env)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{env} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{env} must be >= 1, got {raw!r}"
+        )
+    return value
+
 
 def default_num_requests() -> int:
     """Request count per configuration: ``REPRO_REQUESTS`` if set.
@@ -49,20 +73,16 @@ def default_num_requests() -> int:
     variable and the offending value, instead of a bare ``ValueError``
     surfacing from ``int()`` deep inside a sweep.
     """
-    raw = os.environ.get(REQUESTS_ENV)
-    if raw is None:
-        return DEFAULT_REQUESTS
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"{REQUESTS_ENV} must be a positive integer, got {raw!r}"
-        ) from None
-    if value < 1:
-        raise ValueError(
-            f"{REQUESTS_ENV} must be >= 1, got {raw!r}"
-        )
-    return value
+    return _env_positive_int(REQUESTS_ENV, DEFAULT_REQUESTS)
+
+
+def default_chunk_size() -> int:
+    """Vectorized-kernel chunk size: ``REPRO_CHUNK`` if set.
+
+    Validated exactly like ``REPRO_REQUESTS``.  Chunking changes only
+    how many requests are columnarized per numpy pass, never the replay
+    arithmetic, so any chunk size yields bit-identical results."""
+    return _env_positive_int(CHUNK_ENV, DEFAULT_CHUNK)
 
 
 class RunResult:
@@ -105,6 +125,13 @@ class RunResult:
             tuple(workload_labels) if workload_labels else (model_name,)
         )
         self.attributions: list[RequestAttribution] = []
+        #: DES kernel that actually produced these columns ("reference",
+        #: "batched", or "vectorized"); None until the runner sets it.
+        self.kernel_used: str | None = None
+        #: Why a ``kernel="vectorized"`` run fell back to the batched
+        #: kernel (a stable reason string from
+        #: :mod:`repro.serving.columnar`); None when no fallback happened.
+        self.kernel_fallback: str | None = None
         #: Requests that never completed (an aborted or fault-saturated
         #: replay); ids only -- they have no row in the columns.
         self.incomplete_requests: tuple[int, ...] = ()
@@ -395,9 +422,36 @@ def run_configuration(
     ``TraceMode.AGGREGATE`` the tracer attributes bucket sums straight
     into the columnar arrays and the result adopts them wholesale --
     identical columns, no span or dataclass retention.
+
+    ``serving.kernel == "vectorized"`` dispatches eligible runs (serial
+    closed-loop, chaos-free, AGGREGATE) to the columnar replay engine
+    (:func:`repro.serving.columnar.run_vectorized`) -- bit-identical
+    columns, no event loop; ineligible runs fall back to the batched
+    kernel with the reason recorded on ``RunResult.kernel_fallback``.
     """
     schedule = schedule or ReplaySchedule.serial()
-    aggregate = (serving or ServingConfig()).trace_mode is TraceMode.AGGREGATE
+    serving = serving or ServingConfig()
+    kernel_fallback: str | None = None
+    if serving.kernel == "vectorized":
+        from repro.serving.columnar import run_vectorized, vectorized_ineligibility
+
+        kernel_fallback = vectorized_ineligibility(serving, schedule)
+        if kernel_fallback is None:
+            collector, cluster = run_vectorized(
+                model, plan, requests, serving, default_chunk_size()
+            )
+            result = RunResult(
+                model_name=model.name,
+                label=plan.label,
+                plan=plan,
+                expected_requests=0,
+            )
+            result.adopt_aggregate(collector)
+            result.kernel_used = "vectorized"
+            result.chaos_timeline = cluster.chaos_timeline
+            return result
+        serving = serving.with_kernel("batched")
+    aggregate = serving.trace_mode is TraceMode.AGGREGATE
     cluster = ClusterSimulation(
         model, plan, serving,
         tracer=AggregatingTracer(expected_requests=len(requests)) if aggregate else None,
@@ -437,6 +491,8 @@ def run_configuration(
         cluster.run_open_loop(requests, schedule)
     if isinstance(tracer, AggregatingTracer):
         result.adopt_aggregate(tracer)
+    result.kernel_used = serving.kernel
+    result.kernel_fallback = kernel_fallback
     result.incomplete_requests = tuple(cluster.dropped_requests)
     result.chaos_timeline = cluster.chaos_timeline
     return result
@@ -556,6 +612,15 @@ def run_mix_configuration(
             f"got {len(plans)} plans for {len(mix.workloads)} workloads"
         )
     serving = serving or ServingConfig()
+    kernel_fallback: str | None = None
+    if serving.kernel == "vectorized":
+        # Co-located tenants share host queues, so per-request costs are
+        # no longer closed-form -- the mix path always takes the batched
+        # kernel and records why.
+        from repro.serving.columnar import REASON_MIX
+
+        kernel_fallback = REASON_MIX
+        serving = serving.with_kernel("batched")
     aggregate = serving.trace_mode is TraceMode.AGGREGATE
     cluster = ClusterSimulation.colocated(
         [(workload.model, plan) for workload, plan in zip(mix.workloads, plans)],
@@ -599,6 +664,8 @@ def run_mix_configuration(
     cluster.run_stream(stream)
     if isinstance(tracer, AggregatingTracer):
         result.adopt_aggregate(tracer)
+    result.kernel_used = serving.kernel
+    result.kernel_fallback = kernel_fallback
     result.incomplete_requests = tuple(cluster.dropped_requests)
     result.chaos_timeline = cluster.chaos_timeline
     return result

@@ -226,7 +226,12 @@ class CapacityPlanner:
         with byte-identical results, hence an identical plan.  Pair it
         with ``settings.kernel = "batched"`` to also take the faster DES
         kernel inside every worker (bit-identical by the kernel
-        equivalence contract).
+        equivalence contract).  ``settings.kernel = "vectorized"`` is
+        accepted but falls back to the batched kernel here: candidate
+        simulations are co-located open-loop mixes, outside the columnar
+        path's eligible regime (the fallback and its reason are recorded
+        on every candidate's ``RunResult.kernel_used`` /
+        ``kernel_fallback``).
         ``results_sink`` receives the candidate simulations keyed by
         configuration label, so callers can reuse the measurements (e.g.
         day-long elasticity sizing) without re-simulating.

@@ -35,6 +35,13 @@ the vectorized :meth:`RequestGenerator.generate_many` byte-identical to
 the scalar :meth:`RequestGenerator.generate` reference path (regression
 tested), while doing one RNG call per *table* instead of one per
 (request, table).
+
+The same bulk-draw-equals-scalar-draws property is what the
+``vectorized`` replay kernel leans on one layer up: a sweep generates
+its request sample once (``suite_requests``), and the columnar plan
+builder (:mod:`repro.serving.columnar`) transposes those cached
+requests into per-chunk numpy columns -- generation draws and replay
+draws never interleave, so kernels can vectorize each independently.
 """
 
 from __future__ import annotations

@@ -122,8 +122,12 @@ class ServingConfig:
     ``"reference"`` is the bit-exact historical event loop; ``"batched"``
     batches same-timestamp scheduling through a FIFO now-queue, grants
     free resources synchronously, and (chaos off) drives the fused
-    serving generators -- results are regression-pinned bit-identical to
-    the reference kernel on every paper configuration
+    serving generators; ``"vectorized"`` replays eligible runs (serial
+    closed-loop, chaos-free, AGGREGATE tracing) as columnar numpy
+    programs with no event loop (:mod:`repro.serving.columnar`) and
+    falls back to ``"batched"`` otherwise, recording the reason on
+    ``RunResult.kernel_fallback`` -- results are regression-pinned
+    bit-identical to the reference kernel on every paper configuration
     (``tests/test_kernel_equivalence.py``)."""
 
     def __post_init__(self):

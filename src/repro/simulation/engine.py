@@ -62,6 +62,25 @@ egress reservations) -- the serving layer obeys this, and the
 old-kernel == new-kernel regression tests in
 ``tests/test_kernel_equivalence.py`` pin the result columns bit-identical
 on every paper configuration, in both trace modes, chaos included.
+
+Vectorized equivalence
+----------------------
+
+The ``vectorized`` kernel replays eligible runs (serial closed-loop,
+chaos-free, AGGREGATE tracing) with no event loop at all, yet commits to
+the *same* canonical ordering: in that regime every event's timestamp
+and sequence position is a pure function of the precomputed per-request
+plan, so the columnar evaluator (:mod:`repro.simulation.vectorized`)
+can walk requests in arrival order and shard RPCs in issue order --
+exactly the order the reference loop would pop them -- while computing
+durations from numpy columns.  Floats stay bit-identical because every
+accumulator is reduced with the same left-associated sequential adds the
+chained DES yields perform (cumulative per-shard adds, never
+``np.sum``, whose pairwise tree reassociates), and every RNG substream
+(fabric jitter, clock skew) is drawn bulk-bufferedly in the same global
+time order the scalar calls consume it.  The same regression suite pins
+vectorized == reference on every eligible paper configuration, serial
+and parallel.
 """
 
 from __future__ import annotations
@@ -563,7 +582,12 @@ class BatchedEngine(Engine):
 
 
 #: Selectable DES kernels (``ServingConfig.kernel`` / ``--kernel``).
-KERNELS = ("reference", "batched")
+#: ``"vectorized"`` is the columnar replay fast path: eligible runs
+#: (serial closed-loop, chaos-free, AGGREGATE tracing) bypass the event
+#: loop entirely (see :mod:`repro.simulation.vectorized` /
+#: :mod:`repro.serving.columnar`); everything else falls back to the
+#: batched kernel with a recorded reason (``RunResult.kernel_fallback``).
+KERNELS = ("reference", "batched", "vectorized")
 
 #: The kernel every surface defaults to; committed artifacts are
 #: produced with it and the batched kernel is regression-pinned
@@ -572,10 +596,18 @@ DEFAULT_KERNEL = "reference"
 
 
 def make_engine(kernel: str = DEFAULT_KERNEL) -> Engine:
-    """Construct the selected DES kernel (see ``KERNELS``)."""
+    """Construct the selected DES kernel (see ``KERNELS``).
+
+    ``"vectorized"`` returns a :class:`BatchedEngine`: the columnar fast
+    path never runs a DES loop (the experiment runner dispatches
+    eligible runs to :func:`repro.serving.columnar.run_vectorized`
+    before an engine turns over), so an *engine* constructed for the
+    vectorized kernel is by definition the fallback path -- which is
+    the batched kernel, bit-identical to the reference.
+    """
     if kernel == "reference":
         return Engine()
-    if kernel == "batched":
+    if kernel in ("batched", "vectorized"):
         return BatchedEngine()
     raise ValueError(
         f"unknown DES kernel {kernel!r}; expected one of {KERNELS}"
