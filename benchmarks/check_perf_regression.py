@@ -7,8 +7,10 @@ for machine speed.  One guard entry exists per (kernel, trace-mode)
 benchmark present in the baseline -- reference/FULL (``sweep``),
 reference/AGGREGATE (``aggregate_sweep``), batched/AGGREGATE
 (``kernel_sweep``), and vectorized/AGGREGATE (``vectorized_sweep``) --
-so a regression on one path cannot hide behind another path's number.
-Entries missing from an older baseline are skipped.
+plus the tail-resilience availability sweep (``resilience_sweep``:
+correlated domain crash under a retry/hedge policy), so a regression on
+one path cannot hide behind another path's number.  Entries missing
+from an older baseline are skipped.
 
 Raw rps is not comparable across hosts, so the committed baseline is
 rescaled by the ratio of the *reference kernel's* event-loop ops/sec
@@ -46,6 +48,7 @@ GUARD_ENTRIES = (
     ("aggregate_sweep", "serial_rps"),
     ("kernel_sweep", "serial_rps"),
     ("vectorized_sweep", "sweep_rps"),
+    ("resilience_sweep", "rps"),
 )
 
 
@@ -128,6 +131,40 @@ def measure_fresh(
         sweep_once()  # warm
         fresh["vectorized_sweep"] = (
             len(requests) * len(plans) / _best_of(sweep_once)
+        )
+    if "resilience_sweep" in entries:
+        # Tail-resilience protocol, matching the benchmark: a correlated
+        # domain crash (2 domains, spread) under a timeout+retry+hedge
+        # policy, healthy baseline plus two replica counts.
+        from repro.chaos import CorrelatedFailure, availability_sweep
+        from repro.experiments import ShardingConfiguration
+        from repro.resilience import ResiliencePolicy
+        from repro.workloads import PiecewiseRateArrivals, Workload
+
+        workload = Workload(
+            "drm1-chaos", model,
+            PiecewiseRateArrivals.diurnal(50.0, seed=7), request_seed=3,
+        )
+        replica_counts = (1, 2)
+
+        def resilience_once():
+            availability_sweep(
+                workload,
+                ShardingConfiguration("load-bal", 4),
+                (CorrelatedFailure(domain=0, at=0.1),),
+                replica_counts=replica_counts,
+                domains=2,
+                placement="spread",
+                policy=ResiliencePolicy(
+                    rpc_timeout=5e-3, max_attempts=3, hedge_quantile=95.0
+                ),
+                settings=settings(),
+            )
+
+        resilience_once()  # warm
+        fresh["resilience_sweep"] = (
+            bench_requests * (len(replica_counts) + 1)
+            / _best_of(resilience_once)
         )
     fresh["reference_ops_per_s"] = (
         measure_kernel_ops()["reference"]["ops_per_s"]

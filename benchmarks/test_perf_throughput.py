@@ -39,7 +39,8 @@ import tracemalloc
 import numpy as np
 
 from repro.analysis.bench import record_benchmark
-from repro.chaos import HostCrash, availability_sweep
+from repro.chaos import CorrelatedFailure, HostCrash, availability_sweep
+from repro.resilience import ResiliencePolicy
 from repro.experiments import (
     ShardingConfiguration,
     SuiteSettings,
@@ -260,6 +261,41 @@ def test_perf_throughput():
     chaos_rps = chaos_simulated / chaos_s
     retention = [o.report.slo_retention for o in chaos_result.outcomes]
     assert all(a <= b for a, b in zip(retention, retention[1:]))
+
+    # 7b. Tail-resilience sweep: the same workload under a correlated
+    # domain crash (2 fault domains, spread placement) with a full
+    # resilience policy -- per-attempt timeouts, retries, and
+    # quantile-derived hedging.  The policy path swaps the plain RPC
+    # generator for the supervised orchestrator, so this rung tracks the
+    # overhead of attempt supervision on top of the chaos rung above.
+    # Best-of-2, matching the perf guard's protocol: this rung runs late
+    # in the benchmark where heap pressure from earlier rungs makes a
+    # single sample noisy, and the guard compares against a fresh
+    # best-of-2 measurement.
+    resilience_replicas = (1, 2)
+    resilience_result, resilience_s = _time_best(
+        lambda: availability_sweep(
+            chaos_workload,
+            ShardingConfiguration("load-bal", 4),
+            (CorrelatedFailure(domain=0, at=0.1),),
+            replica_counts=resilience_replicas,
+            domains=2,
+            placement="spread",
+            policy=ResiliencePolicy(
+                rpc_timeout=5e-3, max_attempts=3, hedge_quantile=95.0
+            ),
+            settings=aggregate_settings,
+        )
+    )
+    resilience_simulated = BENCH_REQUESTS * (len(resilience_replicas) + 1)
+    resilience_rps = resilience_simulated / resilience_s
+    resilience_attempts = int(
+        sum(int(o.result.attempts.sum()) for o in resilience_result.outcomes)
+    )
+    resilience_hedged = int(
+        sum(int(o.result.hedged.sum()) for o in resilience_result.outcomes)
+    )
+    assert resilience_attempts > 0
 
     # 8. Batched DES kernel: the same 11-config DRM1 AGGREGATE sweep on
     # kernel="batched" (deque-merged event loop, synchronous resource
@@ -496,6 +532,20 @@ def test_perf_throughput():
                 "slo_retention": retention,
                 "replicas_for_999": chaos_result.replicas_for(0.999),
             },
+            "resilience_sweep": {
+                # Correlated domain crash (2 domains, spread) under a
+                # timeout+retry+hedge policy: the tail-resilience rung.
+                "replica_counts": list(resilience_replicas),
+                "simulated_requests": resilience_simulated,
+                "wall_s": resilience_s,
+                "rps": resilience_rps,
+                "attempts": resilience_attempts,
+                "hedged": resilience_hedged,
+                "slo_retention": [
+                    o.report.slo_retention
+                    for o in resilience_result.outcomes
+                ],
+            },
             "parallel_trace_mode": trace_mode.value,
             "span_bytes_per_instance": span_bytes,
         },
@@ -508,6 +558,8 @@ def test_perf_throughput():
         f"plan {plan_s:.2f}s ({len(plan_result.candidates)} candidates -> "
         f"{chosen.label if chosen else 'infeasible'}), "
         f"chaos {chaos_rps:.0f} req/s ({len(chaos_replicas)} replica counts), "
+        f"resilience {resilience_rps:.0f} req/s "
+        f"({resilience_attempts} attempts, {resilience_hedged} hedged), "
         f"batched kernel {batched_rps:.0f} req/s serial / "
         f"{batched_parallel_rps:.0f} req/s parallel "
         f"({batched_rps / aggregate_rps:.2f}x reference), "
@@ -517,6 +569,6 @@ def test_perf_throughput():
     )
     assert serial_rps > 0 and aggregate_rps > 0 and parallel_rps > 0 and mix_rps > 0
     assert plan_rps > 0 and plan_result.candidates
-    assert chaos_rps > 0
+    assert chaos_rps > 0 and resilience_rps > 0
     assert batched_rps > 0 and batched_parallel_rps > 0
     assert vectorized_rps > 0 and vectorized_sweep_rps > 0

@@ -20,12 +20,20 @@ question behind that sizing with the :mod:`repro.chaos` layer:
    needed for two- and three-nines retention;
 4. the same crash is replayed once more with the self-healing controller
    on (heartbeat detection + re-replication) to show the crash ->
-   detected -> healed timeline and the availability window recovering.
+   detected -> healed timeline and the availability window recovering;
+5. the tail-resilience layer (:mod:`repro.resilience`) is put to work
+   twice: a replica-scoped straggler replayed with and without a hedging
+   policy (speculative duplicate after the healthy p95 of the sparse
+   fan-out; first response wins) to show hedging cutting the faulted
+   p99, and a *correlated* domain crash (one fault domain = half the
+   sparse hosts) replayed under spread vs packed replica placement to
+   show spread retaining more nines from the same replica budget.
 
 Every fault fires at an explicit simulated time and every random draw
-comes from a dedicated ``substream(seed, "chaos", ...)`` substream, so
-the report is byte-stable run to run -- and a run with *no* faults is
-byte-identical to one without the chaos layer at all.
+comes from a dedicated ``substream(seed, "chaos", ...)`` or
+``substream(seed, "resilience", ...)`` substream, so the report is
+byte-stable run to run -- and a run with *no* faults and *no* policy is
+byte-identical to one without either layer at all.
 
 The combined report is written to
 ``results/example_chaos_availability.txt``.
@@ -33,11 +41,20 @@ The combined report is written to
 Run:  python examples/chaos_availability.py
 """
 
+import numpy as np
+
 from repro.analysis.report import save_artifact
-from repro.chaos import HealingPolicy, HostCrash, StragglerShard, format_assessment
+from repro.chaos import (
+    CorrelatedFailure,
+    HealingPolicy,
+    HostCrash,
+    StragglerShard,
+    format_assessment,
+)
 from repro.experiments import ShardingConfiguration, SuiteSettings
 from repro.models import drm1, drm2
 from repro.planning import CandidateSpace, CapacityPlanner
+from repro.resilience import ResiliencePolicy
 from repro.serving import ServingConfig, TraceMode
 from repro.workloads import PoissonArrivals, Workload, WorkloadMix
 
@@ -105,6 +122,56 @@ def main() -> None:
     )
     sections.extend(["", "== same crash with the self-healing controller ==", ""])
     sections.extend(format_assessment(healed))
+
+    # Tail resilience 1: a replica-scoped straggler (one slow replica of
+    # shard 0, its sibling healthy) with and without a hedging policy.
+    straggler = (
+        StragglerShard(shard=0, start=0.0, duration=10.0, multiplier=25.0,
+                       replica=0),
+    )
+    hedge_policy = ResiliencePolicy(
+        hedge_quantile=95.0, max_attempts=2,
+        retry_budget=500.0, retry_refill_rate=500.0,
+    )
+    no_hedge = planner.assess_availability(
+        workload, plan, straggler, replica_counts=(2,)
+    )
+    hedged = planner.assess_availability(
+        workload, plan, straggler, replica_counts=(2,), policy=hedge_policy
+    )
+    p99_base = float(np.percentile(no_hedge.outcomes[0].result.e2e, 99.0))
+    p99_hedge = float(np.percentile(hedged.outcomes[0].result.e2e, 99.0))
+    sections.extend([
+        "",
+        "== tail resilience: hedging a replica-scoped straggler ==",
+        "",
+        f"no policy:  p99 {p99_base * 1e3:.3f} ms",
+        f"hedged:     p99 {p99_hedge * 1e3:.3f} ms "
+        f"({p99_hedge / p99_base:.2f}x, "
+        f"{int(hedged.outcomes[0].result.hedged.sum())} hedges issued)",
+        "",
+    ])
+    sections.extend(format_assessment(hedged))
+
+    # Tail resilience 2: a whole fault domain crashes at once; spread
+    # placement stripes each shard's replicas across domains so every
+    # shard keeps a survivor, packed placement loses shards outright.
+    domain_crash = (CorrelatedFailure(domain=0, at=0.1),)
+    placements = {}
+    for placement in ("spread", "packed"):
+        placements[placement] = planner.assess_availability(
+            workload, plan, domain_crash, replica_counts=(2,),
+            domains=2, placement=placement,
+        )
+    sections.extend([
+        "",
+        "== correlated domain crash: spread vs packed placement ==",
+        "",
+    ])
+    for placement, assessed in placements.items():
+        sections.extend([f"-- placement: {placement} --", ""])
+        sections.extend(format_assessment(assessed))
+        sections.append("")
 
     report = "\n".join(sections)
     print(report)

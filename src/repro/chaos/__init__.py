@@ -7,7 +7,9 @@ crash mid-replay, shards straggle, and the network spikes.
 
 * :mod:`repro.chaos.faults` -- composable, validated fault experiments
   (:class:`~repro.chaos.faults.FaultSchedule`) attached to a
-  :class:`~repro.serving.simulator.ServingConfig`;
+  :class:`~repro.serving.simulator.ServingConfig`, including correlated
+  fault domains (:class:`~repro.chaos.faults.CorrelatedFailure`) and
+  domain-aware replica placement (spread vs packed);
 * :mod:`repro.chaos.runtime` -- the in-simulation interpreter: replica
   routing, liveness, degradation accounting, the healing controller;
 * :mod:`repro.chaos.availability` -- availability/SLO-retention reports
@@ -38,6 +40,9 @@ from repro.chaos.experiment import (
     format_assessment,
 )
 from repro.chaos.faults import (
+    PLACEMENTS,
+    CorrelatedFailure,
+    FaultDomain,
     FaultExperiment,
     FaultSchedule,
     HealingPolicy,
@@ -55,11 +60,14 @@ __all__ = [
     "ChaosEvent",
     "ChaosOutcome",
     "ChaosRuntime",
+    "CorrelatedFailure",
+    "FaultDomain",
     "FaultExperiment",
     "FaultSchedule",
     "HealingPolicy",
     "HostCrash",
     "NetworkSpike",
+    "PLACEMENTS",
     "ReplicaLoss",
     "StragglerShard",
     "availability_report",

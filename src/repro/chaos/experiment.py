@@ -20,7 +20,7 @@ serial one, exactly like the suite runners in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.chaos.availability import (
     availability_report,
 )
 from repro.chaos.faults import FaultExperiment, FaultSchedule, HealingPolicy
+
+if TYPE_CHECKING:
+    from repro.resilience.policy import ResiliencePolicy
 from repro.experiments.configs import ShardingConfiguration, build_plan
 from repro.experiments.parallel import run_cluster_tasks
 from repro.experiments.runner import (
@@ -64,6 +67,17 @@ class AvailabilityAssessment:
 
     outcomes: tuple[ChaosOutcome, ...]
 
+    policy: "ResiliencePolicy | None" = None
+    """Resilience policy the faulted replays ran under (hedge quantile
+    already resolved against the healthy baseline); ``None`` for plain
+    failover-only sweeps."""
+
+    domains: int = 1
+    """Fault domains the sparse hosts were placed across."""
+
+    placement: str = "spread"
+    """Domain-aware replica placement the sweep used."""
+
     def replicas_for(self, retention: float) -> int | None:
         """Smallest swept replica count whose SLO retention meets
         ``retention`` (e.g. ``0.999``); ``None`` if none does."""
@@ -92,16 +106,31 @@ def format_assessment(
     lines = [
         f"healthy p99 {assessment.baseline_p99 * 1e3:.3f} ms, "
         f"SLO {assessment.slo_latency * 1e3:.3f} ms",
+    ]
+    if assessment.domains > 1:
+        lines.append(
+            f"fault domains: {assessment.domains} "
+            f"(placement {assessment.placement})"
+        )
+    if assessment.policy is not None:
+        lines.append(f"resilience policy: {assessment.policy.describe()}")
+    lines += [
         "",
-        "replicas  availability  slo-retention  nines     ok   slow  degraded  failed  retried",
+        "replicas  availability  slo-retention  nines     ok   slow  degraded  failed  retried  aborted    p99ms  attempts  hedged",
     ]
     for outcome in assessment.outcomes:
         report = outcome.report
+        result = outcome.result
+        p99 = (
+            float(np.percentile(result.e2e, 99.0)) if len(result) else 0.0
+        )
         lines.append(
             f"{outcome.replicas:>8d}  {report.availability:>11.2%}  "
             f"{report.slo_retention:>12.2%}  {nines(report.slo_retention):>5.2f}  "
             f"{report.ok:>5d}  {report.slow:>5d}  {report.degraded:>8d}  "
-            f"{report.failed:>6d}  {report.retried:>7d}"
+            f"{report.failed:>6d}  {report.retried:>7d}  "
+            f"{result.aborted_rpcs:>7d}  {p99 * 1e3:>7.3f}  "
+            f"{int(result.attempts.sum()):>8d}  {int(result.hedged.sum()):>6d}"
         )
     lines.append("")
     for target in retention_targets:
@@ -150,16 +179,22 @@ def _replay_chaos(replicas: int) -> RunResult:
     from repro.experiments.parallel import _WORKER_CONTEXT
 
     assert _WORKER_CONTEXT is not None
-    mix, plans, stream, serving, experiments, failover_timeout, healing = (
-        _WORKER_CONTEXT
-    )
+    (
+        mix, plans, stream, serving, experiments, failover_timeout,
+        healing, domains, placement, policy,
+    ) = _WORKER_CONTEXT
     schedule = FaultSchedule(
         experiments=experiments,
         replicas=replicas,
         failover_timeout=failover_timeout,
         healing=healing,
+        domains=domains,
+        placement=placement,
     )
-    return run_mix_configuration(mix, plans, stream, serving.with_chaos(schedule))
+    serving = serving.with_chaos(schedule)
+    if policy is not None:
+        serving = serving.with_resilience(policy)
+    return run_mix_configuration(mix, plans, stream, serving)
 
 
 def availability_sweep(
@@ -170,6 +205,9 @@ def availability_sweep(
     *,
     healing: HealingPolicy | None = None,
     failover_timeout: float = 2e-3,
+    domains: int = 1,
+    placement: str = "spread",
+    policy: "ResiliencePolicy | None" = None,
     settings: SuiteSettings | None = None,
     slo_latency: float | None = None,
     slo_slack: float = 1.5,
@@ -182,7 +220,15 @@ def availability_sweep(
     The stream replays open-loop (the workload's arrival process), once
     healthy to fix the SLO -- ``slo_latency`` if given, otherwise the
     healthy p99 times ``slo_slack`` -- then once per replica count with a
-    :class:`FaultSchedule` built from ``experiments``.  With
+    :class:`FaultSchedule` built from ``experiments``, placed across
+    ``domains`` fault domains by ``placement`` (spread vs packed -- the
+    planner's domain-aware sizing axis).  A ``policy``
+    (:class:`~repro.resilience.ResiliencePolicy`) applies to every
+    *faulted* replay -- the healthy baseline stays policy-free so the SLO
+    derivation never shifts; a policy with ``hedge_quantile`` set is
+    resolved here to that percentile of the healthy replay's per-request
+    embedded-window totals (the tail-at-scale recipe: hedge when the
+    sparse fan-out is slower than its usual pXX).  With
     ``parallel=True`` every cluster replay -- the healthy baseline *and*
     the per-replica-count faulted replays -- fans out over one shared
     fork pool (:func:`repro.experiments.parallel.run_cluster_tasks`),
@@ -201,6 +247,12 @@ def availability_sweep(
             "availability_sweep builds its own FaultSchedule per replica "
             "count; pass experiments/healing instead of serving.chaos"
         )
+    if serving.resilience is not None:
+        raise ValueError(
+            "availability_sweep applies the resilience policy to the "
+            "faulted replays only; pass policy= instead of "
+            "serving.resilience"
+        )
     stream = mix_stream(mix, settings)
     plans = [
         build_plan(
@@ -216,13 +268,35 @@ def availability_sweep(
     ]
 
     counts = tuple(int(count) for count in replica_counts)
-    context = (
+    workers = max_workers if parallel else 1
+    base_context = (
         mix, plans, stream, serving, tuple(experiments), failover_timeout,
-        healing,
+        healing, int(domains), placement,
     )
-    tasks = [(_replay_healthy, None)]
-    tasks += [(_replay_chaos, count) for count in counts]
-    replays = run_cluster_tasks(tasks, context, max_workers if parallel else 1)
+
+    if policy is not None and policy.hedge_quantile is not None:
+        # Resolve the hedge trigger against the healthy baseline first:
+        # the faulted replays need the concrete delay, so the healthy
+        # replay runs in its own batch ahead of them.  Each replay is a
+        # pure function of its inputs, so the split keeps serial and
+        # parallel sweeps byte-identical.
+        healthy = run_cluster_tasks(
+            [(_replay_healthy, None)], base_context + (None,), workers
+        )[0]
+        policy = policy.with_hedge_delay(
+            float(
+                np.percentile(healthy.embedded_totals, policy.hedge_quantile)
+            )
+        )
+        replays = [healthy] + run_cluster_tasks(
+            [(_replay_chaos, count) for count in counts],
+            base_context + (policy,),
+            workers,
+        )
+    else:
+        tasks = [(_replay_healthy, None)]
+        tasks += [(_replay_chaos, count) for count in counts]
+        replays = run_cluster_tasks(tasks, base_context + (policy,), workers)
 
     healthy = replays[0]
     baseline_p99 = float(np.percentile(healthy.e2e, 99.0))
@@ -246,4 +320,7 @@ def availability_sweep(
         slo_latency=float(slo_latency),
         baseline_p99=baseline_p99,
         outcomes=tuple(outcomes),
+        policy=policy,
+        domains=int(domains),
+        placement=placement,
     )

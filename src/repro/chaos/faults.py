@@ -101,15 +101,20 @@ class StragglerShard:
     Every component of the shard-side service (deserialization, fixed
     service time, framework overhead, SLS work, response serialization)
     is scaled by ``multiplier`` while the window is active; overlapping
-    stragglers on the same shard compose multiplicatively.  All replicas
-    of the shard straggle together (the model is a shard-local cause:
-    compaction, page cache loss, noisy neighbor).
+    stragglers on the same shard compose multiplicatively.  With
+    ``replica=None`` (the default) all replicas of the shard straggle
+    together (a shard-local cause: compaction, page cache loss); with a
+    replica slot set, only that host straggles (a host-local cause) --
+    the regime where hedged requests to a healthy sibling replica win.
     """
 
     shard: int
     start: float
     duration: float
     multiplier: float = 4.0
+    replica: int | None = None
+    """Replica slot that straggles: ``None`` slows every replica of the
+    shard; ``k`` slows only slot ``k`` (0 = the primary)."""
 
     def __post_init__(self):
         _require_shard(self.shard)
@@ -118,6 +123,10 @@ class StragglerShard:
         if not self.multiplier >= 1.0:
             raise ValueError(
                 f"straggler multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.replica is not None and self.replica < 0:
+            raise ValueError(
+                f"replica must be >= 0 (or None for all), got {self.replica!r}"
             )
 
     def end_time(self) -> float:
@@ -152,7 +161,70 @@ class NetworkSpike:
         return self.start + self.duration
 
 
-FaultExperiment = HostCrash | ReplicaLoss | StragglerShard | NetworkSpike
+@dataclass(frozen=True)
+class FaultDomain:
+    """A correlated-failure blast radius (rack, power domain, AZ).
+
+    Built by the chaos runtime from the schedule's ``domains`` count and
+    ``placement`` strategy: every sparse host is assigned to exactly one
+    domain, and a :class:`CorrelatedFailure` kills a whole domain at
+    once.  Pure data -- the runtime's
+    :meth:`~repro.chaos.runtime.ChaosRuntime.fault_domains` snapshot.
+    """
+
+    index: int
+    hosts: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise ValueError(f"domain index must be >= 0, got {self.index!r}")
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+
+
+@dataclass(frozen=True)
+class CorrelatedFailure:
+    """Every host of one fault domain crashes together at ``at``.
+
+    The correlated multi-host failure the ROADMAP leaves open: a rack
+    power event or top-of-rack switch loss takes out all hosts sharing
+    the domain, not one replica.  With ``stagger`` > 0, each victim's
+    onset is offset by an independent draw from ``U[0, stagger)`` on the
+    dedicated ``(seed, "chaos", "correlated")`` substream (breakers trip
+    host-by-host); with ``restart_after`` set, each victim restarts that
+    many seconds after its own crash.  Whether the replay degrades or
+    merely fails over is decided by the schedule's ``placement``: spread
+    placement leaves every shard a live replica in another domain,
+    packed placement loses whole shards.
+    """
+
+    domain: int
+    at: float
+    restart_after: float | None = None
+    stagger: float = 0.0
+
+    def __post_init__(self):
+        if int(self.domain) < 0:
+            raise ValueError(f"domain must be >= 0, got {self.domain!r}")
+        _require_nonnegative("at", self.at)
+        if self.restart_after is not None:
+            _require_nonnegative("restart_after", self.restart_after)
+        _require_nonnegative("stagger", self.stagger)
+
+    def end_time(self) -> float:
+        return self.at + self.stagger + (self.restart_after or 0.0)
+
+
+FaultExperiment = (
+    HostCrash | ReplicaLoss | StragglerShard | NetworkSpike | CorrelatedFailure
+)
+
+#: Valid domain-aware replica placement strategies: ``"spread"`` places
+#: replica slot ``r`` of shard ``s`` in domain ``(s + r) % domains`` (no
+#: shard loses more than one replica per domain crash); ``"packed"``
+#: places every replica of shard ``s`` in domain ``s % domains`` (a
+#: domain crash takes out whole shards -- the anti-pattern the planner
+#: sweep quantifies).
+PLACEMENTS = ("spread", "packed")
 
 
 @dataclass(frozen=True)
@@ -205,11 +277,28 @@ class FaultSchedule:
     failover_timeout: float = 2e-3
     healing: HealingPolicy | None = None
 
+    domains: int = 1
+    """Number of fault domains the sparse hosts are placed across; a
+    :class:`CorrelatedFailure` crashes one whole domain.  ``1`` puts
+    every host in the same (never-jointly-crashed) domain."""
+
+    placement: str = "spread"
+    """Domain-aware replica placement strategy (:data:`PLACEMENTS`):
+    ``"spread"`` stripes a shard's replicas across domains, ``"packed"``
+    keeps them in one."""
+
     def __post_init__(self):
         object.__setattr__(self, "experiments", tuple(self.experiments))
         for experiment in self.experiments:
             if not isinstance(
-                experiment, (HostCrash, ReplicaLoss, StragglerShard, NetworkSpike)
+                experiment,
+                (
+                    HostCrash,
+                    ReplicaLoss,
+                    StragglerShard,
+                    NetworkSpike,
+                    CorrelatedFailure,
+                ),
             ):
                 raise TypeError(
                     f"experiments must be FaultExperiment instances, "
@@ -218,6 +307,21 @@ class FaultSchedule:
         if self.replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {self.replicas!r}")
         _require_nonnegative("failover_timeout", self.failover_timeout)
+        if self.domains < 1:
+            raise ValueError(f"domains must be >= 1, got {self.domains!r}")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+        for experiment in self.experiments:
+            if (
+                isinstance(experiment, CorrelatedFailure)
+                and experiment.domain >= self.domains
+            ):
+                raise ValueError(
+                    f"CorrelatedFailure targets domain {experiment.domain}, "
+                    f"but the schedule provisions {self.domains} domain(s)"
+                )
 
     @property
     def is_empty(self) -> bool:

@@ -26,13 +26,24 @@ The runtime receives a *server factory* from the cluster instead of
 importing :class:`~repro.serving.simulator.SimServer`, keeping the
 dependency one-directional (serving -> chaos, lazily).
 
-Fault model granularity: a crash affects routing of *new* RPC arrivals --
-an RPC already in service on the crashed host drains normally (the
-simulated service times are microseconds; modeling mid-service loss would
-buy little and cost Resource-teardown complexity).  Dead hosts are
-discovered by the client at arrival time: the RPC pays the network trip,
-finds the host dead, pays ``failover_timeout``, and retries the next live
-replica -- or degrades to a dense-only partial result when none is left.
+Fault model granularity: a crash aborts in-flight work at *segment
+boundaries* -- an RPC in service on a crashed host completes the segment
+it is in (deserialization, SLS gather, ...), then notices the host is
+dead at the next instrumented boundary, releases the worker, and aborts
+(counted in :attr:`ChaosRuntime.aborted`); the client pays
+``failover_timeout`` and retries the next live replica, or -- with none
+left -- degrades to a dense-only partial result.  Dead-on-arrival hosts
+are still discovered by the client at arrival time: the RPC pays the
+network trip, finds the host dead, pays ``failover_timeout``, and fails
+over.  Work already past response serialization is considered committed
+(the response is on the wire) and delivers normally.
+
+Fault domains: with ``schedule.domains > 1`` every host is assigned to
+one :class:`~repro.chaos.faults.FaultDomain` by the schedule's
+``placement`` strategy (spread stripes a shard's replicas across
+domains; packed keeps them together), and a
+:class:`~repro.chaos.faults.CorrelatedFailure` crashes a whole domain
+through the dedicated ``(seed, "chaos", "correlated")`` substream.
 """
 
 from __future__ import annotations
@@ -42,6 +53,8 @@ from typing import Callable
 
 from repro.chaos.availability import ChaosEvent
 from repro.chaos.faults import (
+    CorrelatedFailure,
+    FaultDomain,
     FaultSchedule,
     HealingPolicy,
     HostCrash,
@@ -61,6 +74,7 @@ class ChaosRuntime:
         primaries: list,
         make_server: Callable[[str], object],
         spike_rng=None,
+        corr_rng=None,
     ):
         self.schedule = schedule
         self.engine = engine
@@ -92,13 +106,47 @@ class ChaosRuntime:
         self.flags: dict[int, list[int]] = {}
         #: Fault/heal transitions in simulation-time order.
         self.timeline: list[ChaosEvent] = []
+        #: In-flight RPC attempts aborted by a mid-service crash.
+        self.aborted = 0
 
         self._active_stragglers: list[StragglerShard] = []
         self._active_spikes: list[NetworkSpike] = []
         self._spike_rng = spike_rng
+        self._corr_rng = corr_rng
         self._misses: dict[int, int] = {}
         self._pending_heals: dict[int, int] = {}
         self._heal_seq = 0
+
+        #: Fault-domain assignment: host name -> domain index, from the
+        #: schedule's placement strategy.  Healed hosts are assigned as
+        #: they join (same formula, their replica slot).
+        self._domain_of: dict[str, int] = {}
+        for shard, servers in self.replicas.items():
+            for slot, server in enumerate(servers):
+                self._domain_of[server.name] = self.domain_for(shard, slot)
+
+    # -- fault domains -----------------------------------------------------
+    def domain_for(self, shard: int, slot: int) -> int:
+        """Fault domain of replica ``slot`` of ``shard`` (placement map)."""
+        domains = self.schedule.domains
+        if domains <= 1:
+            return 0
+        if self.schedule.placement == "packed":
+            return shard % domains
+        return (shard + slot) % domains
+
+    def fault_domains(self) -> tuple[FaultDomain, ...]:
+        """Current domain membership snapshot (includes healed hosts)."""
+        members: dict[int, list[str]] = {
+            domain: [] for domain in range(max(1, self.schedule.domains))
+        }
+        for shard in range(self.num_shards):
+            for server in self.replicas[shard]:
+                members[self._domain_of[server.name]].append(server.name)
+        return tuple(
+            FaultDomain(index=domain, hosts=tuple(hosts))
+            for domain, hosts in sorted(members.items())
+        )
 
     def _validate(self, schedule: FaultSchedule) -> None:
         for experiment in schedule.experiments:
@@ -136,6 +184,8 @@ class ChaosRuntime:
                 engine.process(self._run_straggler(experiment))
             elif isinstance(experiment, NetworkSpike):
                 engine.process(self._run_spike(experiment))
+            elif isinstance(experiment, CorrelatedFailure):
+                engine.process(self._run_correlated(experiment))
         if self.schedule.healing is not None:
             engine.process(self._run_controller(self.schedule.healing))
 
@@ -166,6 +216,44 @@ class ChaosRuntime:
         self._set_alive(
             experiment.shard, experiment.replica, False, "replica-loss"
         )
+
+    def _run_correlated(self, experiment: CorrelatedFailure):
+        yield float(experiment.at)
+        # Victims are snapshotted at fire time, in shard-major slot order
+        # -- the deterministic order the stagger offsets are drawn in.
+        victims = [
+            (shard, slot)
+            for shard in range(self.num_shards)
+            for slot, server in enumerate(self.replicas[shard])
+            if self._domain_of[server.name] == experiment.domain
+        ]
+        self.timeline.append(
+            ChaosEvent(
+                time=self.engine.now,
+                kind="domain-crash",
+                detail=f"domain {experiment.domain}: {len(victims)} host(s)",
+            )
+        )
+        offsets = [0.0] * len(victims)
+        if experiment.stagger > 0.0 and self._corr_rng is not None:
+            offsets = [
+                float(self._corr_rng.uniform(0.0, experiment.stagger))
+                for _ in victims
+            ]
+        for (shard, slot), offset in zip(victims, offsets):
+            self.engine.process(
+                self._run_domain_victim(experiment, shard, slot, offset)
+            )
+
+    def _run_domain_victim(
+        self, experiment: CorrelatedFailure, shard: int, slot: int, offset: float
+    ):
+        if offset > 0.0:
+            yield offset
+        self._set_alive(shard, slot, False, "correlated-crash")
+        if experiment.restart_after is not None:
+            yield float(experiment.restart_after)
+            self._set_alive(shard, slot, True, "restart")
 
     def live_replicas(self, shard: int) -> int:
         alive = self._alive
@@ -198,6 +286,13 @@ class ChaosRuntime:
         if entry is None:
             entry = self.flags[request_id] = [0, 0]
         entry[1] += 1
+
+    def count_abort(self, request_id: int) -> None:
+        """One in-flight attempt aborted by a mid-service crash; the
+        abort is also a failover (the client retries a live replica), so
+        it counts into the request's ``retries`` column too."""
+        self.aborted += 1
+        self.count_retry(request_id)
 
     def mark_degraded(self, request_id: int) -> None:
         entry = self.flags.get(request_id)
@@ -246,11 +341,26 @@ class ChaosRuntime:
             ChaosEvent(time=self.engine.now, kind="spike-end")
         )
 
-    def scale_service(self, shard: int, delay: float) -> float:
-        """Apply active straggler multipliers to a shard-side delay."""
+    def scale_service(self, shard: int, delay: float, server=None) -> float:
+        """Apply active straggler multipliers to a shard-side delay.
+
+        ``server`` identifies which replica is doing the work: a
+        replica-scoped straggler (``StragglerShard.replica`` set) only
+        slows that slot, so a hedged attempt on a sibling replica runs
+        at full speed.  ``server=None`` keeps the historical shard-wide
+        behaviour.
+        """
         for straggler in self._active_stragglers:
-            if straggler.shard == shard:
-                delay *= straggler.multiplier
+            if straggler.shard != shard:
+                continue
+            if straggler.replica is not None and server is not None:
+                slots = self.replicas[shard]
+                if (
+                    straggler.replica >= len(slots)
+                    or slots[straggler.replica] is not server
+                ):
+                    continue
+            delay *= straggler.multiplier
         return delay
 
     def network_delay(self, delay: float) -> float:
@@ -322,6 +432,9 @@ class ChaosRuntime:
         name = f"sparse-{shard}-h{self._heal_seq}"
         server = self.make_server(name)
         self.replicas[shard].append(server)
+        self._domain_of[name] = self.domain_for(
+            shard, len(self.replicas[shard]) - 1
+        )
         self._alive[name] = True
         self._pending_heals[shard] -= 1
         self.timeline.append(

@@ -36,6 +36,8 @@ import numpy as np
 
 from repro.analysis.caching import trace_hit_summary
 from repro.chaos import (
+    PLACEMENTS,
+    CorrelatedFailure,
     HealingPolicy,
     HostCrash,
     NetworkSpike,
@@ -43,6 +45,7 @@ from repro.chaos import (
     availability_sweep,
     format_assessment,
 )
+from repro.resilience import ResiliencePolicy
 from repro.analysis.report import (
     CAPACITY_CANDIDATE_HEADERS,
     CAPACITY_SIZING_HEADERS,
@@ -127,6 +130,103 @@ def _configuration(args: argparse.Namespace) -> ShardingConfiguration:
     if args.strategy == "1-shard":
         return ShardingConfiguration("1-shard", 1)
     return ShardingConfiguration(args.strategy, args.shards)
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "resilience policy",
+        "per-attempt timeouts, retries, hedging, and request deadlines for "
+        "the faulted replays; leave every flag unset for the historical "
+        "failover-only path (byte-identical to runs without the policy)",
+    )
+    group.add_argument(
+        "--retry-timeout-ms", type=float, default=None,
+        help="per-attempt RPC timeout in milliseconds; a timed-out attempt "
+        "is replaced (budget permitting) up to --retry-max-attempts",
+    )
+    group.add_argument(
+        "--retry-max-attempts", type=int, default=None,
+        help="total attempts per RPC including the first (default 1; "
+        "hedge flags imply 2)",
+    )
+    group.add_argument(
+        "--retry-backoff-ms", type=float, default=0.0,
+        help="exponential backoff base before each retry, milliseconds",
+    )
+    group.add_argument(
+        "--retry-jitter", type=float, default=0.0,
+        help="deterministic jitter fraction stretching each backoff "
+        "(draws from the dedicated 'resilience' substream)",
+    )
+    group.add_argument(
+        "--retry-budget", type=float, default=10.0,
+        help="token-bucket capacity for extra attempts (anti-retry-storm)",
+    )
+    group.add_argument(
+        "--retry-refill", type=float, default=10.0,
+        help="token-bucket refill rate, tokens per simulated second",
+    )
+    group.add_argument(
+        "--hedge-ms", type=float, default=None,
+        help="issue one speculative duplicate this many milliseconds after "
+        "the first send; first response wins",
+    )
+    group.add_argument(
+        "--hedge-quantile", type=float, default=None,
+        help="derive the hedge delay from this percentile of the healthy "
+        "baseline's per-request embedded totals (e.g. 95)",
+    )
+    group.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="end-to-end request deadline in milliseconds; no new attempts "
+        "start past it and overruns are flagged per request",
+    )
+
+
+def _resilience_policy(args: argparse.Namespace) -> ResiliencePolicy | None:
+    """Build the policy from CLI flags; ``None`` when no flag was set."""
+    hedging = args.hedge_ms is not None or args.hedge_quantile is not None
+    if (
+        args.retry_timeout_ms is None
+        and args.retry_max_attempts is None
+        and args.deadline_ms is None
+        and not hedging
+    ):
+        return None
+    max_attempts = args.retry_max_attempts
+    if max_attempts is None:
+        # Hedging needs a second attempt to issue; a bare timeout or
+        # deadline changes accounting but not the attempt cap.
+        max_attempts = 2 if hedging else 1
+    return ResiliencePolicy(
+        rpc_timeout=(
+            args.retry_timeout_ms / 1e3
+            if args.retry_timeout_ms is not None else None
+        ),
+        max_attempts=max_attempts,
+        backoff_base=args.retry_backoff_ms / 1e3,
+        backoff_jitter=args.retry_jitter,
+        hedge_delay=args.hedge_ms / 1e3 if args.hedge_ms is not None else None,
+        hedge_quantile=args.hedge_quantile,
+        deadline=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        retry_budget=args.retry_budget,
+        retry_refill_rate=args.retry_refill,
+    )
+
+
+def _add_domain_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--domains", type=int, default=1,
+        help="fault domains to place sparse replicas across (racks/zones); "
+        "1 disables domain-aware placement",
+    )
+    parser.add_argument(
+        "--placement", default="spread", choices=list(PLACEMENTS),
+        help="'spread' stripes a shard's replicas across domains so one "
+        "domain crash leaves survivors; 'packed' fills domain-by-domain",
+    )
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -446,6 +546,30 @@ def cmd_plan(args: argparse.Namespace) -> int:
             title="per-workload sizing (label-column demand, own sharding plan)",
         )
     )
+    if args.assess_availability:
+        if args.domains > 1:
+            experiments: tuple = (
+                CorrelatedFailure(domain=0, at=args.crash_at),
+            )
+        else:
+            experiments = (HostCrash(shard=0, at=args.crash_at),)
+        assessment = planner.assess_availability(
+            mix,
+            chosen,
+            experiments,
+            tuple(args.assess_replicas),
+            domains=args.domains,
+            placement=args.placement,
+            policy=_resilience_policy(args),
+            parallel=args.parallel or args.workers is not None,
+            max_workers=args.workers,
+        )
+        print(
+            "\navailability assessment under "
+            + ", ".join(type(e).__name__ for e in experiments)
+            + ":"
+        )
+        print("\n".join(format_assessment(assessment)))
     return 0
 
 
@@ -479,6 +603,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         experiments.append(
             NetworkSpike(start=start, duration=duration, extra_latency=extra_ms / 1e3)
         )
+    if args.correlated_domain is not None:
+        experiments.append(
+            CorrelatedFailure(
+                domain=args.correlated_domain,
+                at=args.correlated_at,
+                restart_after=args.correlated_restart,
+                stagger=args.correlated_stagger,
+            )
+        )
     healing = (
         HealingPolicy(
             check_interval=args.check_interval,
@@ -494,6 +627,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         tuple(experiments),
         tuple(args.replicas),
         healing=healing,
+        domains=args.domains,
+        placement=args.placement,
+        policy=_resilience_policy(args),
         settings=SuiteSettings(
             num_requests=args.requests,
             pooling_requests=args.pooling_requests,
@@ -733,6 +869,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker-process cap; implies --parallel",
     )
+    plan.add_argument(
+        "--assess-availability", action="store_true",
+        help="after choosing a plan, re-simulate it under a chaos suite "
+        "(a correlated domain crash with --domains > 1, a host crash "
+        "otherwise) and report replicas-for-N-nines sizing",
+    )
+    plan.add_argument(
+        "--assess-replicas", nargs="+", type=int, default=[1, 2, 3],
+        help="sparse replica counts the availability assessment sweeps",
+    )
+    plan.add_argument(
+        "--crash-at", type=float, default=0.1,
+        help="fault time (simulated seconds) for the assessment suite",
+    )
+    _add_domain_arguments(plan)
+    _add_resilience_arguments(plan)
     plan.set_defaults(func=cmd_plan)
 
     chaos = commands.add_parser(
@@ -796,6 +948,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("START", "DURATION", "EXTRA_MS"),
         help="add EXTRA_MS one-way latency to every RPC over [START, START+DURATION)",
     )
+    chaos.add_argument(
+        "--correlated-domain", type=int, default=None,
+        help="crash every host in this fault domain at --correlated-at "
+        "(requires --domains > 1 to be interesting)",
+    )
+    chaos.add_argument(
+        "--correlated-at", type=float, default=0.1,
+        help="correlated-failure time in simulated seconds",
+    )
+    chaos.add_argument(
+        "--correlated-restart", type=float, default=None,
+        help="bring the crashed domain back after this many seconds",
+    )
+    chaos.add_argument(
+        "--correlated-stagger", type=float, default=0.0,
+        help="spread the per-host crash instants over this window "
+        "(deterministic draws from the chaos/correlated substream)",
+    )
+    _add_domain_arguments(chaos)
+    _add_resilience_arguments(chaos)
     chaos.add_argument(
         "--heal", action="store_true",
         help="run the self-healing controller (heartbeat detection + "

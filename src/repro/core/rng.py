@@ -23,6 +23,13 @@ trace modes.  Three rules make that hold:
        substream(seed, "clock-skew", *cluster_key)           # skew
        substream(seed, "chaos", "network", *cluster_key)     # spikes
        substream(seed, "chaos", "clock-skew", *cluster_key)  # replicas
+       substream(seed, "chaos", "correlated", *cluster_key)  # stagger
+       substream(seed, "resilience", *cluster_key)           # backoff
+
+   Key paths are namespaced feature-first (``"chaos"``, ``"resilience"``)
+   then by draw site, then by the cluster identity (``*cluster_key``),
+   so every path is spelled at exactly one call site -- the whole-repo
+   DET006 registry rejects two sites sharing one fully-constant path.
 
    Because the seed is a pure function of ``(root_seed, keys)`` -- a
    SHA-256 digest, never Python's salted ``hash()`` -- the stream is
@@ -71,15 +78,28 @@ trace modes.  Three rules make that hold:
    off restores the exact base stream.**  The chaos layer
    (:mod:`repro.chaos`) is the sharpest case: fault times are explicit
    simulation times (no draws), and the only chaos randomness --
-   network-spike jitter, clock skew for healed/replica servers -- comes
-   from dedicated ``substream(seed, "chaos", ...)`` streams.  Running
-   with ``chaos=None`` or with an *empty* :class:`FaultSchedule`
-   therefore consumes zero draws from every pre-existing substream, and
-   the replay is byte-identical to one without the chaos layer at all
+   network-spike jitter, clock skew for healed/replica servers,
+   correlated-crash stagger -- comes from dedicated
+   ``substream(seed, "chaos", ...)`` streams.  Running with
+   ``chaos=None`` or with an *empty* :class:`FaultSchedule` therefore
+   consumes zero draws from every pre-existing substream, and the
+   replay is byte-identical to one without the chaos layer at all
    (regression-tested).  Had chaos shared, say, the fabric jitter
    stream, merely enabling the feature would shift every subsequent
    draw and perturb the healthy baseline it is meant to be compared
    against.
+
+   The resilience layer (:mod:`repro.resilience`) follows the same
+   clause: the only policy randomness -- backoff jitter stretching each
+   retry delay -- draws from the dedicated
+   ``substream(seed, "resilience", *cluster_key)`` stream, in
+   simulation-event order (rule 2).  A ``resilience=None`` config or an
+   *empty* :class:`~repro.resilience.ResiliencePolicy` installs no
+   runtime and consumes zero draws, so the no-policy replay is
+   byte-identical to one predating the layer (regression-tested in
+   ``tests/test_resilience.py``), and hedged/retried replays stay
+   byte-identical across serial and parallel sweeps because the stream
+   is a pure function of ``(seed, cluster identity)``.
 
 Static enforcement (``repro lint``)
 -----------------------------------

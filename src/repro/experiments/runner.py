@@ -138,6 +138,13 @@ class RunResult:
         #: Fault/heal transitions of the replay (``ChaosEvent`` tuples;
         #: empty for healthy runs).
         self.chaos_timeline: tuple = ()
+        #: Replay-level resilience counters (attempts, hedges,
+        #: budget_denied, deadline_exceeded, aborted_attempts); empty
+        #: without an active :class:`~repro.resilience.ResiliencePolicy`.
+        self.resilience_stats: dict[str, int] = {}
+        #: In-flight RPC attempts aborted by mid-service crashes
+        #: (0 on healthy runs).
+        self.aborted_rpcs: int = 0
         capacity = max(int(expected_requests), 16)
         self._count = 0
         self._e2e = np.empty(capacity)
@@ -150,6 +157,10 @@ class RunResult:
         self._status = np.zeros(capacity, dtype=np.int64)
         self._degraded = np.zeros(capacity, dtype=np.int64)
         self._retries = np.zeros(capacity, dtype=np.int64)
+        # Resilience columns; all-zero without an active policy.
+        self._attempts = np.zeros(capacity, dtype=np.int64)
+        self._hedged = np.zeros(capacity, dtype=np.int64)
+        self._deadline = np.zeros(capacity, dtype=np.int64)
         self._stack_cols: dict[tuple[str, str], np.ndarray] = {
             (kind, bucket): np.empty(capacity)
             for kind, buckets in self._COLUMN_BUCKETS.items()
@@ -182,6 +193,9 @@ class RunResult:
         self._status = grown_zeros(self._status)
         self._degraded = grown_zeros(self._degraded)
         self._retries = grown_zeros(self._retries)
+        self._attempts = grown_zeros(self._attempts)
+        self._hedged = grown_zeros(self._hedged)
+        self._deadline = grown_zeros(self._deadline)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
         self._shard_cpu_cols = {
             key: grown_zeros(col) for key, col in self._shard_cpu_cols.items()
@@ -202,6 +216,9 @@ class RunResult:
         workload: int = 0,
         degraded: int = 0,
         retries: int = 0,
+        attempts: int = 0,
+        hedged: int = 0,
+        deadline_exceeded: int = 0,
     ) -> None:
         """Append one completed request's attribution."""
         index = self._count
@@ -216,6 +233,10 @@ class RunResult:
             self._status[index] = 1 if degraded else 0
             self._degraded[index] = degraded
             self._retries[index] = retries
+        if attempts or hedged or deadline_exceeded:
+            self._attempts[index] = attempts
+            self._hedged[index] = hedged
+            self._deadline[index] = deadline_exceeded
         cols = self._stack_cols
         for bucket, value in attribution.latency_stack.items():
             cols["latency", bucket][index] = value
@@ -264,8 +285,29 @@ class RunResult:
 
     @property
     def retries(self) -> np.ndarray:
-        """Per-request count of RPC failovers (dead host -> live replica)."""
+        """Per-request count of RPC failovers (dead host -> live replica),
+        including mid-service aborts."""
         return self._retries[: self._count]
+
+    # -- resilience columns (both trace modes) -----------------------------
+    @property
+    def attempts(self) -> np.ndarray:
+        """Per-request count of policy-issued RPC attempts (first sends,
+        hedges, and timeout retries).  All zeros without an active
+        :class:`~repro.resilience.ResiliencePolicy`."""
+        return self._attempts[: self._count]
+
+    @property
+    def hedged(self) -> np.ndarray:
+        """Per-request count of hedged (speculative duplicate) attempts
+        actually issued."""
+        return self._hedged[: self._count]
+
+    @property
+    def deadline_exceeded(self) -> np.ndarray:
+        """Per-request flag: 1 when the request completed past the
+        policy's deadline."""
+        return self._deadline[: self._count]
 
     def stack_columns(self, kind: str) -> dict[str, np.ndarray]:
         """One array per bucket for ``kind`` in {latency, embedded, cpu}."""
@@ -335,9 +377,10 @@ class RunResult:
         :meth:`mean_per_shard_op_time` work identically in both trace
         modes (only the per-(shard, net) breakdown still needs FULL).
         """
-        count, e2e, cpu, stack_cols, workload, shard_cpu, shard_op, rid, status, degraded, retries = (
-            tracer.export_columns()
-        )
+        (
+            count, e2e, cpu, stack_cols, workload, shard_cpu, shard_op,
+            rid, status, degraded, retries, attempts, hedged, deadline,
+        ) = tracer.export_columns()
         if set(stack_cols) != set(self._stack_cols):
             raise ValueError("aggregate tracer columns do not match RunResult layout")
         self._count = count
@@ -351,6 +394,9 @@ class RunResult:
         self._status = status
         self._degraded = degraded
         self._retries = retries
+        self._attempts = attempts
+        self._hedged = hedged
+        self._deadline = deadline
 
     # -- per-shard demand (both trace modes) -------------------------------
     def _mean_shard_columns(
@@ -467,21 +513,27 @@ def run_configuration(
 
     tracer = cluster.tracer
     chaos_flags = cluster.chaos_flags
+    res_flags = cluster.resilience_flags
     if isinstance(tracer, AggregatingTracer):
         tracer.chaos_flags = chaos_flags
+        tracer.resilience_flags = res_flags
         cluster.on_complete = tracer.finalize_request
-    elif chaos_flags is None:
+    elif chaos_flags is None and res_flags is None:
         def on_complete(request_id: int) -> None:
             result.add(attribute_request(tracer.pop_request(request_id)))
 
         cluster.on_complete = on_complete
     else:
         def on_complete(request_id: int) -> None:
-            flags = chaos_flags.get(request_id)
+            flags = chaos_flags.get(request_id) if chaos_flags else None
+            rflags = res_flags.get(request_id) if res_flags else None
             result.add(
                 attribute_request(tracer.pop_request(request_id)),
                 degraded=flags[0] if flags else 0,
                 retries=flags[1] if flags else 0,
+                attempts=rflags[0] if rflags else 0,
+                hedged=rflags[1] if rflags else 0,
+                deadline_exceeded=rflags[2] if rflags else 0,
             )
 
         cluster.on_complete = on_complete
@@ -495,6 +547,8 @@ def run_configuration(
     result.kernel_fallback = kernel_fallback
     result.incomplete_requests = tuple(cluster.dropped_requests)
     result.chaos_timeline = cluster.chaos_timeline
+    result.resilience_stats = cluster.resilience_stats
+    result.aborted_rpcs = cluster.chaos_aborted
     return result
 
 
@@ -638,11 +692,13 @@ def run_mix_configuration(
     workload_ids = stream.workload_ids
     tracer = cluster.tracer
     chaos_flags = cluster.chaos_flags
+    res_flags = cluster.resilience_flags
     if isinstance(tracer, AggregatingTracer):
         tracer.workload_ids = workload_ids
         tracer.chaos_flags = chaos_flags
+        tracer.resilience_flags = res_flags
         cluster.on_complete = tracer.finalize_request
-    elif chaos_flags is None:
+    elif chaos_flags is None and res_flags is None:
         def on_complete(request_id: int) -> None:
             result.add(
                 attribute_request(tracer.pop_request(request_id)),
@@ -652,12 +708,16 @@ def run_mix_configuration(
         cluster.on_complete = on_complete
     else:
         def on_complete(request_id: int) -> None:
-            flags = chaos_flags.get(request_id)
+            flags = chaos_flags.get(request_id) if chaos_flags else None
+            rflags = res_flags.get(request_id) if res_flags else None
             result.add(
                 attribute_request(tracer.pop_request(request_id)),
                 workload=int(workload_ids[request_id]),
                 degraded=flags[0] if flags else 0,
                 retries=flags[1] if flags else 0,
+                attempts=rflags[0] if rflags else 0,
+                hedged=rflags[1] if rflags else 0,
+                deadline_exceeded=rflags[2] if rflags else 0,
             )
 
         cluster.on_complete = on_complete
@@ -668,6 +728,8 @@ def run_mix_configuration(
     result.kernel_fallback = kernel_fallback
     result.incomplete_requests = tuple(cluster.dropped_requests)
     result.chaos_timeline = cluster.chaos_timeline
+    result.resilience_stats = cluster.resilience_stats
+    result.aborted_rpcs = cluster.chaos_aborted
     return result
 
 

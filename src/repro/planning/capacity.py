@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # heavy imports stay lazy: repro.experiments imports serving
     from repro.chaos.faults import FaultExperiment, HealingPolicy
     from repro.experiments.configs import ShardingConfiguration
     from repro.experiments.runner import RunResult, SuiteSettings
+    from repro.resilience.policy import ResiliencePolicy
 
 
 class PlanningError(ValueError):
@@ -320,6 +321,9 @@ class CapacityPlanner:
         *,
         healing: "HealingPolicy | None" = None,
         failover_timeout: float = 2e-3,
+        domains: int = 1,
+        placement: str = "spread",
+        policy: "ResiliencePolicy | None" = None,
         window: float = 0.5,
         parallel: bool = False,
         max_workers: int | None = None,
@@ -328,18 +332,24 @@ class CapacityPlanner:
 
         Answers the availability side of the sizing question the closed
         loop leaves open: the chosen deployment meets the SLA on a
-        healthy fleet, but how many sparse replicas does it need to keep
-        N-nines SLO retention when the ``experiments`` fire?  Delegates
-        to :func:`repro.chaos.experiment.availability_sweep` with the
+        healthy fleet, but how many sparse replicas -- spread across how
+        many fault ``domains``, under what retry/hedging ``policy`` --
+        does it need to keep N-nines SLO retention when the
+        ``experiments`` fire?  Delegates to
+        :func:`repro.chaos.experiment.availability_sweep` with the
         planner's own settings; the SLO is the planner policy's target
         latency when one is set, otherwise the healthy p99 times the
         planner's ``slack``.  ``configuration`` may be the
         :class:`MixPlan` / :class:`CandidatePlan` returned by
         :meth:`plan` (its label is mapped back onto the candidate
-        matrix) or an explicit sharding configuration.  With
-        ``parallel=True`` the healthy baseline replay and every
-        replica-count replay run as one pooled batch of cluster
-        simulations.
+        matrix) or an explicit sharding configuration.  ``domains`` and
+        ``placement`` (``"spread"`` or ``"packed"``) choose the
+        domain-aware replica layout the faulted replays use, and
+        ``policy`` is a :class:`~repro.resilience.ResiliencePolicy`
+        applied to the faulted replays only (a ``hedge_quantile`` is
+        resolved against the healthy baseline).  With ``parallel=True``
+        the healthy baseline replay and every replica-count replay run
+        as one pooled batch of cluster simulations.
         """
         from repro.chaos.experiment import availability_sweep
         from repro.experiments.configs import mix_configurations
@@ -372,6 +382,9 @@ class CapacityPlanner:
             replica_counts,
             healing=healing,
             failover_timeout=failover_timeout,
+            domains=domains,
+            placement=placement,
+            policy=policy,
             settings=self.settings,
             slo_latency=slo,
             slo_slack=self.slack,

@@ -72,6 +72,7 @@ __all__ = [
 #: Stable fallback-reason strings, asserted by the gating tests.
 REASON_OPEN_LOOP = "open-loop replay (queueing contention)"
 REASON_CHAOS = "chaos fault schedule"
+REASON_RESILIENCE = "resilience policy active"
 REASON_FULL_TRACE = "FULL trace mode (span retention)"
 REASON_SHALLOW_MAIN = "main worker pool shallower than max_batches"
 REASON_SHALLOW_SPARSE = "sparse worker pool shallower than max_batches"
@@ -96,6 +97,10 @@ def vectorized_ineligibility(
         return REASON_OPEN_LOOP
     if serving.chaos is not None:
         return REASON_CHAOS
+    if serving.resilience is not None and not serving.resilience.is_empty:
+        # A live policy supervises per-attempt timers on the event loop;
+        # an *empty* policy installs no runtime and stays eligible.
+        return REASON_RESILIENCE
     if serving.trace_mode is not TraceMode.AGGREGATE:
         return REASON_FULL_TRACE
     if min(serving.service_workers, serving.main_platform.cores) < serving.max_batches:

@@ -46,7 +46,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
@@ -65,6 +65,7 @@ from repro.tracing.span import MAIN_SHARD, Layer, Tracer
 
 if TYPE_CHECKING:
     from repro.chaos.faults import FaultSchedule
+    from repro.resilience.policy import ResiliencePolicy
 
 _SERDE = Layer.SERDE
 _OPERATOR = Layer.OPERATOR
@@ -117,6 +118,14 @@ class ServingConfig:
     *empty* schedule exercises the chaos code path but injects nothing
     and replays byte-identical to ``None``."""
 
+    resilience: "ResiliencePolicy | None" = None
+    """Optional tail-resilience policy (see :mod:`repro.resilience`):
+    per-attempt RPC timeouts, bounded retries with backoff, hedged
+    requests, deadlines, and a token-bucket retry budget.  ``None``
+    (the default) keeps the historical single-attempt RPC path; an
+    *empty* policy installs no runtime and replays byte-identical to
+    ``None``."""
+
     kernel: str = "reference"
     """DES kernel selector (see :data:`repro.simulation.engine.KERNELS`).
     ``"reference"`` is the bit-exact historical event loop; ``"batched"``
@@ -164,6 +173,11 @@ class ServingConfig:
 
     def with_kernel(self, kernel: str) -> "ServingConfig":
         return dataclasses.replace(self, kernel=kernel)
+
+    def with_resilience(
+        self, resilience: "ResiliencePolicy | None"
+    ) -> "ServingConfig":
+        return dataclasses.replace(self, resilience=resilience)
 
 
 class SimServer:
@@ -388,8 +402,11 @@ class ClusterSimulation:
         # so fusing a service segment would move mid-segment straggler
         # transitions -- chaos replays use the reference generators on
         # whichever kernel is selected (identical events either way).
+        policy = self.config.resilience
         self._fast = (
-            self.config.chaos is None and isinstance(self.engine, BatchedEngine)
+            self.config.chaos is None
+            and (policy is None or policy.is_empty)
+            and isinstance(self.engine, BatchedEngine)
         )
         self._rpc_ids = itertools.count()
         # Single-tenant keys are the historical (model, label) pair --
@@ -460,10 +477,32 @@ class ClusterSimulation:
                 spike_rng=substream(
                     self.config.seed, "chaos", "network", *cluster_key
                 ),
+                corr_rng=substream(
+                    self.config.seed, "chaos", "correlated", *cluster_key
+                ),
             )
             # Injection processes spawn before any replay driver process,
             # so same-timestamp fault transitions order before arrivals.
             self._chaos.start()
+        # Tail-resilience layer: retries, hedging, deadlines, budget.
+        # Empty policies install no runtime at all -- the replay stays on
+        # the historical single-attempt RPC path, byte-identical to
+        # ``resilience=None``; backoff jitter draws from the dedicated
+        # "resilience" substream so healthy streams are never consumed.
+        self._resilience = None
+        if policy is not None and not policy.is_empty:
+            from repro.resilience.runtime import ResilienceRuntime
+
+            self._resilience = ResilienceRuntime(
+                policy,
+                self.engine,
+                substream(self.config.seed, "resilience", *cluster_key),
+            )
+        #: RPC spawn override for _run_batch: ``None`` keeps the default
+        #: :meth:`_rpc` (byte-identical historical path).
+        self._rpc_spawn = (
+            self._rpc_resilient if self._resilience is not None else None
+        )
         self.tenants = [
             _Tenant(index, model, plan, self.config)
             for index, (model, plan) in enumerate(tenants)
@@ -725,6 +764,9 @@ class ClusterSimulation:
         record = self._record
         rid = request.request_id
         t_start = engine.now
+        res = self._resilience
+        if res is not None:
+            res.start_request(rid)
 
         yield main.workers.acquire()
         t0 = engine.now
@@ -742,8 +784,9 @@ class ClusterSimulation:
 
         batches = self._batches(tenant, request)
         plans = self._request_plans(tenant, request, batches)
+        rpc = self._rpc_spawn
         batch_events = [
-            engine.process(self._run_batch(tenant, request, batch, plans))
+            engine.process(self._run_batch(tenant, request, batch, plans, rpc))
             for batch in batches
         ]
         yield engine.all_of(batch_events)
@@ -761,6 +804,10 @@ class ClusterSimulation:
             rid, MAIN_SHARD, main, _SERVICE, "request_e2e",
             t_start, engine.now, handler_cpu,
         )
+        if res is not None:
+            # Stamp the deadline flag before on_complete folds this
+            # request's flags into result columns.
+            res.finish_request(rid, engine.now - t_start)
         self.completed[rid] = engine.now - t_start
         if self.on_complete is not None:
             self.on_complete(rid)
@@ -950,8 +997,14 @@ class ClusterSimulation:
         -- with no replica left -- degrades to a dense-only partial
         result (the request completes without this shard's embeddings,
         exactly like an inactive shard: downstream layers read
-        zero-filled blobs).  Without chaos, every step below is the
-        historical healthy path, byte for byte.
+        zero-filled blobs).  A host that crashes *mid-service* aborts
+        the in-flight attempt at the next segment boundary: the worker
+        is released, the attempt's already-recorded spans stay orphaned
+        (no ``rpc_outstanding`` span ever binds them, identically in
+        both trace modes), and the client fails over like a DOA retry.
+        Each attempt carries its own ``rpc_id`` so aborted spans can
+        never be confused with the winning attempt's.  Without chaos,
+        every step below is the historical healthy path, byte for byte.
         """
         engine, cm = self.engine, self.config.cost_model
         main = self.main
@@ -963,7 +1016,6 @@ class ClusterSimulation:
             server = self.sparse_servers[shard_index]
         else:
             server = chaos.route(shard_index)
-        rpc_id = next(self._rpc_ids)
         t_client = engine.now
 
         while True:
@@ -973,70 +1025,94 @@ class ClusterSimulation:
                 chaos.mark_degraded(rid)
                 yield chaos.failover_timeout
                 return
+            rpc_id = next(self._rpc_ids)
             out_delay = main.egress_delay(target.req_bytes) + self.fabric.one_way_delay(
                 main.platform, server.platform, 0.0
             )
             if chaos is not None:
                 out_delay = chaos.network_delay(out_delay)
             yield out_delay
-            if chaos is None or chaos.is_live(server):
-                break
-            # The host died while the request was in flight: the client
-            # times out and fails over to the next live replica.
-            chaos.count_retry(rid)
-            yield chaos.failover_timeout
-            server = chaos.route(shard_index)
+            if chaos is not None and not chaos.is_live(server):
+                # The host died while the request was in flight: the
+                # client times out and fails over to the next replica.
+                chaos.count_retry(rid)
+                yield chaos.failover_timeout
+                server = chaos.route(shard_index)
+                continue
 
-        t_service = engine.now
-        yield server.workers.acquire()
-        t0 = engine.now
-        deser = target.server_deser
-        service_fixed = cm.rpc_service_fixed
-        if chaos is not None:
-            deser = chaos.scale_service(shard_index, deser)
-        yield deser
-        record(
-            rid, shard_index, server, _SERDE, "rpc_deser",
-            t0, engine.now, deser, None, net_name, bindex, rpc_id,
-        )
-        if chaos is not None:
-            service_fixed = chaos.scale_service(shard_index, service_fixed)
-        yield service_fixed
+            t_service = engine.now
+            yield server.workers.acquire()
+            t0 = engine.now
+            deser = target.server_deser
+            service_fixed = cm.rpc_service_fixed
+            if chaos is not None:
+                deser = chaos.scale_service(shard_index, deser, server)
+            yield deser
+            record(
+                rid, shard_index, server, _SERDE, "rpc_deser",
+                t0, engine.now, deser, None, net_name, bindex, rpc_id,
+            )
+            if chaos is not None and not chaos.is_live(server):
+                server.workers.release()
+                chaos.count_abort(rid)
+                yield chaos.failover_timeout
+                server = chaos.route(shard_index)
+                continue
+            if chaos is not None:
+                service_fixed = chaos.scale_service(
+                    shard_index, service_fixed, server
+                )
+            yield service_fixed
 
-        t0 = engine.now
-        overhead = target.server_overhead
-        if chaos is not None:
-            overhead = chaos.scale_service(shard_index, overhead)
-        yield overhead
-        record(
-            rid, shard_index, server, _NET_OVERHEAD, "net_sched",
-            t0, engine.now, overhead, None, net_name, bindex, rpc_id,
-        )
+            t0 = engine.now
+            overhead = target.server_overhead
+            if chaos is not None:
+                overhead = chaos.scale_service(shard_index, overhead, server)
+            yield overhead
+            record(
+                rid, shard_index, server, _NET_OVERHEAD, "net_sched",
+                t0, engine.now, overhead, None, net_name, bindex, rpc_id,
+            )
+            if chaos is not None and not chaos.is_live(server):
+                server.workers.release()
+                chaos.count_abort(rid)
+                yield chaos.failover_timeout
+                server = chaos.route(shard_index)
+                continue
 
-        t0 = engine.now
-        work = target.sls_work
-        if chaos is not None:
-            work = chaos.scale_service(shard_index, work)
-        yield work
-        record(
-            rid, shard_index, server, _OPERATOR, "sls_remote",
-            t0, engine.now, work, _SPARSE, net_name, bindex, rpc_id,
-        )
+            t0 = engine.now
+            work = target.sls_work
+            if chaos is not None:
+                work = chaos.scale_service(shard_index, work, server)
+            yield work
+            record(
+                rid, shard_index, server, _OPERATOR, "sls_remote",
+                t0, engine.now, work, _SPARSE, net_name, bindex, rpc_id,
+            )
+            if chaos is not None and not chaos.is_live(server):
+                server.workers.release()
+                chaos.count_abort(rid)
+                yield chaos.failover_timeout
+                server = chaos.route(shard_index)
+                continue
 
-        t0 = engine.now
-        ser = target.server_resp_ser
-        if chaos is not None:
-            ser = chaos.scale_service(shard_index, ser)
-        yield ser
-        record(
-            rid, shard_index, server, _SERDE, "rpc_resp_ser",
-            t0, engine.now, ser, None, net_name, bindex, rpc_id,
-        )
-        server.workers.release()
-        record(
-            rid, shard_index, server, _SERVICE, "rpc_e2e",
-            t_service, engine.now, service_fixed, None, net_name, bindex, rpc_id,
-        )
+            t0 = engine.now
+            ser = target.server_resp_ser
+            if chaos is not None:
+                ser = chaos.scale_service(shard_index, ser, server)
+            yield ser
+            record(
+                rid, shard_index, server, _SERDE, "rpc_resp_ser",
+                t0, engine.now, ser, None, net_name, bindex, rpc_id,
+            )
+            # The response is serialized and on the wire: the work is
+            # committed and delivers even if the host dies right after.
+            server.workers.release()
+            record(
+                rid, shard_index, server, _SERVICE, "rpc_e2e",
+                t_service, engine.now, service_fixed, None, net_name, bindex, rpc_id,
+            )
+            break
 
         back_delay = server.egress_delay(target.resp_bytes) + self.fabric.one_way_delay(
             server.platform, main.platform, 0.0
@@ -1059,6 +1135,305 @@ class ClusterSimulation:
             t0, engine.now, deser, None, net_name, bindex, rpc_id,
         )
         main.io_threads.release()
+
+    def _rpc_resilient(
+        self,
+        request: Request,
+        bindex: int,
+        net_name: str,
+        target: _ShardLookups,
+    ):
+        """Policy-supervised remote call: retries, hedging, deadline.
+
+        Replaces :meth:`_rpc` when a non-empty
+        :class:`~repro.resilience.policy.ResiliencePolicy` is active.
+        The first attempt is issued immediately; this orchestrator then
+        supervises the outstanding attempts:
+
+        * a **hedge** issues one speculative duplicate ``hedge_delay``
+          seconds after the first send;
+        * a **timeout retry** issues a replacement when the latest
+          attempt has been outstanding ``rpc_timeout`` seconds (after
+          exponential backoff with deterministic jitter);
+        * attempts that die (dead-on-arrival or aborted mid-service by
+          a crash) are retried as soon as they are observed dead;
+        * every extra attempt respects ``max_attempts``, the request
+          **deadline**, and the token-bucket **retry budget** -- denials
+          are counted, never queued;
+        * the **first response wins**; late responses are discarded
+          before client-side deserialization, and a request whose every
+          permitted attempt died degrades to a dense-only partial
+          result exactly like the no-policy failover path.
+        """
+        engine = self.engine
+        res = self._resilience
+        policy = res.policy
+        chaos = self._chaos
+        rid = request.request_id
+        shard_index = target.shard.index
+        t_client = engine.now
+        state: dict = {"winner": None, "delivered": False}
+        pending: list[Event] = []
+        attempts_made = 0
+
+        def launch() -> bool:
+            nonlocal attempts_made
+            attempts_made += 1
+            if chaos is None:
+                server = self.sparse_servers[shard_index]
+            else:
+                server = chaos.route(shard_index)
+            if server is None:
+                return False
+            res.count_attempt(rid)
+            pending.append(
+                engine.process(
+                    self._rpc_attempt(
+                        request, bindex, net_name, target, server,
+                        t_client, state,
+                    )
+                )
+            )
+            return True
+
+        if not launch():
+            # No live replica at all: the historical degraded path.
+            chaos.mark_degraded(rid)
+            yield chaos.failover_timeout
+            return
+        last_issue = engine.now
+        hedged = False
+        timeouts_denied = False
+        deadline_at = res.deadline_at(rid)
+
+        while True:
+            if state["delivered"]:
+                return
+            pending = [event for event in pending if not event.triggered]
+            now = engine.now
+            may_attempt = attempts_made < policy.max_attempts and (
+                deadline_at is None or now <= deadline_at
+            )
+
+            if state["winner"] is None and not pending:
+                # Every attempt so far died (DOA or aborted mid-service
+                # by a crash): retry if the policy and budget allow,
+                # else degrade to a dense-only partial result.
+                if may_attempt and res.try_spend():
+                    delay = res.backoff_delay(attempts_made)
+                    if delay > 0.0:
+                        yield delay
+                        if state["winner"] is not None:
+                            continue
+                    if launch():
+                        last_issue = engine.now
+                        continue
+                if chaos is not None:
+                    chaos.mark_degraded(rid)
+                    yield chaos.failover_timeout
+                return
+
+            if state["winner"] is not None:
+                # A response won and is being delivered; just wait.
+                yield engine.any_of(pending)
+                continue
+
+            # Arm whichever supervision timer fires first.
+            timer_at = None
+            timer_kind = None
+            if policy.hedge_delay is not None and not hedged and may_attempt:
+                timer_at = t_client + policy.hedge_delay
+                timer_kind = "hedge"
+            if (
+                policy.rpc_timeout is not None
+                and not timeouts_denied
+                and may_attempt
+            ):
+                timeout_at = last_issue + policy.rpc_timeout
+                if timer_at is None or timeout_at < timer_at:
+                    timer_at = timeout_at
+                    timer_kind = "timeout"
+            if timer_at is None:
+                yield engine.any_of(pending)
+                continue
+            if timer_at > now:
+                index, _ = yield engine.any_of(
+                    pending + [engine.timeout(timer_at - now)]
+                )
+                if index < len(pending):
+                    continue  # an attempt finished first; reassess
+            if deadline_at is not None and engine.now > deadline_at:
+                continue  # the request ran past its deadline meanwhile
+            if timer_kind == "hedge":
+                # Hedge once per request, spent or denied; the flag set
+                # unconditionally keeps a denied hedge from re-arming.
+                hedged = True
+                if res.try_spend():
+                    res.count_hedge(rid)
+                    if launch():
+                        last_issue = engine.now
+            elif res.try_spend():
+                delay = res.backoff_delay(attempts_made)
+                if delay > 0.0:
+                    yield delay
+                    if state["winner"] is not None:
+                        continue
+                if launch():
+                    last_issue = engine.now
+            else:
+                # Budget exhausted: stop arming timeout timers entirely
+                # (the anti-retry-storm valve); in-flight attempts keep
+                # running and may still win.
+                timeouts_denied = True
+
+    def _rpc_attempt(
+        self,
+        request: Request,
+        bindex: int,
+        net_name: str,
+        target: _ShardLookups,
+        server: SimServer,
+        t_client: float,
+        state: dict,
+    ):
+        """One attempt body under :meth:`_rpc_resilient` supervision.
+
+        Identical cost structure to one :meth:`_rpc` serving pass --
+        same egress reservation, fabric draw, serde/service/SLS segments
+        and record positions -- with failover decisions lifted out: a
+        dead host (on arrival or mid-service) simply ends the attempt,
+        and the orchestrator decides whether a replacement is issued.
+        The first attempt to finish its network trip back wins the
+        request; late responses are discarded before client-side
+        deserialization (their server-side spans stay orphaned, which
+        both trace modes drop identically).
+        """
+        engine, cm = self.engine, self.config.cost_model
+        main = self.main
+        res = self._resilience
+        rid = request.request_id
+        sim_record = self._record
+        completed = self.completed
+
+        def record(*args: Any) -> None:
+            # A straggling attempt can outlive its request (late response,
+            # or a mid-crash abort observed after the winner delivered):
+            # spans recorded past finalize_request would re-open the
+            # request's accumulator and stale-drain it as incomplete, so
+            # post-completion spans are dropped -- identically in both
+            # trace modes, because the gate sits above the recorder.
+            if rid not in completed:
+                sim_record(*args)
+
+        shard_index = target.shard.index
+        chaos = self._chaos
+        rpc_id = next(self._rpc_ids)
+
+        out_delay = main.egress_delay(target.req_bytes) + self.fabric.one_way_delay(
+            main.platform, server.platform, 0.0
+        )
+        if chaos is not None:
+            out_delay = chaos.network_delay(out_delay)
+        yield out_delay
+        if chaos is not None and not chaos.is_live(server):
+            # Dead on arrival: the attempt is spent, nothing recorded.
+            chaos.count_retry(rid)
+            return
+
+        t_service = engine.now
+        yield server.workers.acquire()
+        t0 = engine.now
+        deser = target.server_deser
+        service_fixed = cm.rpc_service_fixed
+        if chaos is not None:
+            deser = chaos.scale_service(shard_index, deser, server)
+        yield deser
+        record(
+            rid, shard_index, server, _SERDE, "rpc_deser",
+            t0, engine.now, deser, None, net_name, bindex, rpc_id,
+        )
+        if chaos is not None and not chaos.is_live(server):
+            server.workers.release()
+            chaos.count_abort(rid)
+            res.count_abort()
+            return
+        if chaos is not None:
+            service_fixed = chaos.scale_service(
+                shard_index, service_fixed, server
+            )
+        yield service_fixed
+
+        t0 = engine.now
+        overhead = target.server_overhead
+        if chaos is not None:
+            overhead = chaos.scale_service(shard_index, overhead, server)
+        yield overhead
+        record(
+            rid, shard_index, server, _NET_OVERHEAD, "net_sched",
+            t0, engine.now, overhead, None, net_name, bindex, rpc_id,
+        )
+        if chaos is not None and not chaos.is_live(server):
+            server.workers.release()
+            chaos.count_abort(rid)
+            res.count_abort()
+            return
+
+        t0 = engine.now
+        work = target.sls_work
+        if chaos is not None:
+            work = chaos.scale_service(shard_index, work, server)
+        yield work
+        record(
+            rid, shard_index, server, _OPERATOR, "sls_remote",
+            t0, engine.now, work, _SPARSE, net_name, bindex, rpc_id,
+        )
+        if chaos is not None and not chaos.is_live(server):
+            server.workers.release()
+            chaos.count_abort(rid)
+            res.count_abort()
+            return
+
+        t0 = engine.now
+        ser = target.server_resp_ser
+        if chaos is not None:
+            ser = chaos.scale_service(shard_index, ser, server)
+        yield ser
+        record(
+            rid, shard_index, server, _SERDE, "rpc_resp_ser",
+            t0, engine.now, ser, None, net_name, bindex, rpc_id,
+        )
+        # Response on the wire: the shard-side work is committed even if
+        # the host dies right after.
+        server.workers.release()
+        record(
+            rid, shard_index, server, _SERVICE, "rpc_e2e",
+            t_service, engine.now, service_fixed, None, net_name, bindex, rpc_id,
+        )
+
+        back_delay = server.egress_delay(target.resp_bytes) + self.fabric.one_way_delay(
+            server.platform, main.platform, 0.0
+        )
+        if chaos is not None:
+            back_delay = chaos.network_delay(back_delay)
+        yield back_delay
+        if state["winner"] is not None:
+            # A sibling attempt already won; discard this response.
+            return
+        state["winner"] = rpc_id
+        record(
+            rid, MAIN_SHARD, main, _RPC_CLIENT, "rpc_outstanding",
+            t_client, engine.now, 0.0, None, net_name, bindex, rpc_id,
+        )
+        yield main.io_threads.acquire()
+        t0 = engine.now
+        deser = target.client_resp_deser
+        yield deser
+        record(
+            rid, MAIN_SHARD, main, _SERDE, "rpc_response_deser",
+            t0, engine.now, deser, None, net_name, bindex, rpc_id,
+        )
+        main.io_threads.release()
+        state["delivered"] = True
 
     def _rpc_fast(
         self,
@@ -1161,6 +1536,27 @@ class ClusterSimulation:
         """Fault/heal transitions in simulation-time order (empty without
         a chaos runtime)."""
         return () if self._chaos is None else tuple(self._chaos.timeline)
+
+    @property
+    def chaos_aborted(self) -> int:
+        """In-flight RPC attempts aborted by mid-service crashes (0
+        without a chaos runtime)."""
+        return 0 if self._chaos is None else self._chaos.aborted
+
+    # -- resilience accessors ---------------------------------------------------
+    @property
+    def resilience_flags(self) -> dict[int, list[int]] | None:
+        """Per-request ``[attempts, hedged, deadline_exceeded]`` counters,
+        keyed by request id; ``None`` without an active resilience
+        runtime.  The tracing layer folds these into the
+        ``attempts``/``hedged``/``deadline_exceeded`` columns."""
+        return None if self._resilience is None else self._resilience.flags
+
+    @property
+    def resilience_stats(self) -> dict[str, int]:
+        """Replay-level resilience counters (empty dict without an
+        active runtime)."""
+        return {} if self._resilience is None else self._resilience.stats()
 
     # -- replay drivers ---------------------------------------------------------
     def drain_incomplete(self) -> list[int]:

@@ -191,6 +191,10 @@ class AggregatingTracer:
         #: chaos runtime's flags dict).  ``None`` -- the healthy case --
         #: leaves the status/degraded/retries columns all-zero.
         self.chaos_flags = None
+        #: Optional request-id -> ``[attempts, hedged, deadline_exceeded]``
+        #: mapping (the resilience runtime's flags dict).  ``None`` -- no
+        #: active policy -- leaves those columns all-zero.
+        self.resilience_flags = None
         # One-entry lookup cache: spans arrive in per-request bursts
         # (serial replay is a 100% hit), and the dict probe per span is
         # measurable at millions of spans per sweep.
@@ -209,6 +213,11 @@ class AggregatingTracer:
         self._status = np.zeros(capacity, dtype=np.int64)
         self._degraded = np.zeros(capacity, dtype=np.int64)
         self._retries = np.zeros(capacity, dtype=np.int64)
+        # Resilience columns (attempts, hedged, deadline_exceeded), all
+        # zero without an active policy.
+        self._attempts = np.zeros(capacity, dtype=np.int64)
+        self._hedged = np.zeros(capacity, dtype=np.int64)
+        self._deadline = np.zeros(capacity, dtype=np.int64)
         self._stack_cols: dict[tuple[str, str], np.ndarray] = {
             (kind, bucket): np.empty(capacity)
             for kind, buckets in (
@@ -407,6 +416,14 @@ class AggregatingTracer:
                     self._status[index] = 1 if degraded else 0
                     self._degraded[index] = degraded
                     self._retries[index] = retried
+            resilience_flags = self.resilience_flags
+            if resilience_flags is not None:
+                rflags = resilience_flags.get(request_id)
+                if rflags is not None:
+                    attempts, hedged, deadline_exceeded = rflags
+                    self._attempts[index] = attempts
+                    self._hedged[index] = hedged
+                    self._deadline[index] = deadline_exceeded
             cols = self._stack_cols
             cols["latency", E2E_BUCKETS[0]][index] = dense
             cols["latency", E2E_BUCKETS[1]][index] = embedded
@@ -456,6 +473,9 @@ class AggregatingTracer:
         self._status = grown_zeros(self._status)
         self._degraded = grown_zeros(self._degraded)
         self._retries = grown_zeros(self._retries)
+        self._attempts = grown_zeros(self._attempts)
+        self._hedged = grown_zeros(self._hedged)
+        self._deadline = grown_zeros(self._deadline)
         self._stack_cols = {key: grown(col) for key, col in self._stack_cols.items()}
         self._shard_cpu_cols = {
             key: grown_zeros(col) for key, col in self._shard_cpu_cols.items()
@@ -483,10 +503,14 @@ class AggregatingTracer:
         np.ndarray,
         np.ndarray,
         np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
     ]:
         """Hand over the backing arrays (count, e2e, cpu, stack columns,
         workload indices, per-shard CPU columns, per-shard op-time columns,
-        then the chaos columns: request ids, status, degraded, retries).
+        the chaos columns: request ids, status, degraded, retries, then
+        the resilience columns: attempts, hedged, deadline_exceeded).
 
         The caller (``RunResult.adopt_aggregate``) slices by count; the
         arrays are *not* copied, so a tracer must not be reused after
@@ -504,6 +528,9 @@ class AggregatingTracer:
             self._status,
             self._degraded,
             self._retries,
+            self._attempts,
+            self._hedged,
+            self._deadline,
         )
 
     # -- lifecycle / parity with Tracer ------------------------------------
